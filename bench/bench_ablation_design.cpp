@@ -1,0 +1,90 @@
+// Ablation A/C: how much of the cache-aware gain comes from each design
+// ingredient (paper Sec. III)?
+//  1. holistic per-phase gains vs one gain replicated across phases,
+//  2. exact periodic feedforward vs the paper's per-interval formula (17),
+//  3. settling measured on the dense trajectory vs on samples y[k].
+// All on the case-study applications under the cache-aware (3,2,3) timing.
+
+#include <cstdio>
+
+#include "control/design.hpp"
+#include "core/case_study.hpp"
+#include "sched/timing.hpp"
+
+using namespace catsched;
+
+namespace {
+
+double run(const core::Application& a,
+           const std::vector<sched::Interval>& ivs,
+           bool replicate_gain, bool exact_ff, bool dense_settle) {
+  control::DesignSpec spec;
+  spec.plant = a.plant;
+  spec.umax = a.umax;
+  spec.r = a.r;
+  spec.y0 = a.y0;
+  spec.smax = a.smax;
+  control::DesignOptions opts = core::date18_design_options();
+  opts.exact_feedforward = exact_ff;
+  opts.settle_on_samples = !dense_settle;
+  std::vector<sched::Interval> use = ivs;
+  if (replicate_gain) {
+    // Replicated design: design for the average uniform interval, then
+    // evaluate those gains against the true switched timing.
+    double h = 0.0;
+    double tau = 0.0;
+    for (const auto& iv : ivs) {
+      h += iv.h;
+      tau += iv.tau;
+    }
+    h /= ivs.size();
+    tau = std::min(tau / ivs.size(), h);
+    const control::DesignResult uni = control::design_controller(
+        spec, {sched::Interval{h, tau, true}}, opts);
+    control::PhaseGains rep;
+    for (std::size_t j = 0; j < ivs.size(); ++j) {
+      rep.k.push_back(uni.gains.k[0]);
+      rep.f.push_back(uni.gains.f[0]);
+    }
+    const control::DesignResult res =
+        control::evaluate_gains(spec, ivs, rep, opts);
+    return res.settled ? res.settling_time : -1.0;
+  }
+  const control::DesignResult res = control::design_controller(spec, use, opts);
+  return res.settled ? res.settling_time : -1.0;
+}
+
+void row(const char* label, double v) {
+  if (v < 0) {
+    std::printf("  %-52s %10s\n", label, "unsettled");
+  } else {
+    std::printf("  %-52s %8.2f ms\n", label, v * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const core::SystemModel sys = core::date18_case_study();
+  const auto timing =
+      sched::derive_timing(sys.analyze_wcets(), sched::PeriodicSchedule({3, 2, 3}));
+
+  std::printf("== Ablation: controller design ingredients under (3,2,3) ==\n");
+  for (std::size_t i = 0; i < sys.apps.size(); ++i) {
+    const auto& a = sys.apps[i];
+    const auto& ivs = timing.apps[i].intervals;
+    std::printf("\n%s:\n", a.name.c_str());
+    row("holistic gains + exact periodic FF (default)",
+        run(a, ivs, false, true, true));
+    row("replicated average-rate gain (non-holistic)",
+        run(a, ivs, true, true, true));
+    row("paper eq.(17) per-interval feedforward",
+        run(a, ivs, false, false, true));
+    row("settling measured on samples y[k] (Sec. II-A)",
+        run(a, ivs, false, true, false));
+  }
+  std::printf("\nReading: the holistic design should dominate the replicated"
+              " gain; eq.(17) FF leaves DC ripple under switching, which the"
+              " exact periodic FF removes.\n");
+  return 0;
+}

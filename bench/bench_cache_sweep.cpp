@@ -1,0 +1,87 @@
+// Sensitivity sweep ("memory hierarchy impact", paper Sec. VI): how the
+// cache configuration -- miss penalty, cache size, associativity -- changes
+// the WCET reuse picture and the cache-aware scheduling gain.
+//
+// For each configuration we report the per-app WCET pair and the overall
+// control performance of round-robin vs the paper's cache-aware schedule.
+
+#include <cstdio>
+
+#include "core/case_study.hpp"
+#include "core/evaluator.hpp"
+
+using namespace catsched;
+
+namespace {
+
+void run_config(cache::CacheConfig cfg, const char* label) {
+  core::SystemModel sys = core::date18_case_study();
+  sys.cache_config = cfg;
+  // Guard: the calibrated programs need at least 128 sets to be legal; for
+  // smaller caches rebuild is impossible, so just report WCETs that result
+  // from the stream (the layouts still run, reuse just degrades).
+  std::printf("\n-- %s --\n", label);
+  std::vector<sched::AppWcet> wcets;
+  try {
+    wcets = sys.analyze_wcets();
+  } catch (const std::exception& e) {
+    std::printf("  skipped: %s\n", e.what());
+    return;
+  }
+  for (std::size_t i = 0; i < wcets.size(); ++i) {
+    std::printf("  %-26s cold %8.2f us   warm %8.2f us   reuse saves %5.1f%%\n",
+                sys.apps[i].name.c_str(), wcets[i].cold_seconds * 1e6,
+                wcets[i].warm_seconds * 1e6,
+                (1.0 - wcets[i].warm_seconds / wcets[i].cold_seconds) * 100);
+  }
+  core::Evaluator ev(std::move(sys), core::date18_design_options());
+  const sched::PeriodicSchedule rr({1, 1, 1});
+  const sched::PeriodicSchedule ca({3, 2, 3});
+  if (!ev.idle_feasible(rr) || !ev.idle_feasible(ca)) {
+    std::printf("  (schedules idle-infeasible at this configuration)\n");
+    return;
+  }
+  const auto err = ev.evaluate(rr);
+  const auto eca = ev.evaluate(ca);
+  std::printf("  Pall: round-robin %.4f   cache-aware (3,2,3) %.4f   gain "
+              "%+.1f%%\n",
+              err.pall, eca.pall,
+              (eca.pall - err.pall) / std::abs(err.pall) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Cache-configuration sensitivity sweep ==\n");
+
+  cache::CacheConfig base = core::date18_cache_config();
+  run_config(base, "baseline: 128x16B direct-mapped, miss=100cy");
+
+  for (std::uint32_t miss : {20, 50, 200}) {
+    cache::CacheConfig cfg = base;
+    cfg.miss_cycles = miss;
+    char label[96];
+    std::snprintf(label, sizeof label, "miss penalty %u cycles", miss);
+    run_config(cfg, label);
+  }
+  {
+    cache::CacheConfig cfg = base;
+    cfg.num_lines = 256;  // larger cache, same line size
+    run_config(cfg, "256-line (4 KiB) cache");
+  }
+  {
+    cache::CacheConfig cfg = base;
+    cfg.associativity = 2;  // 64 sets x 2 ways
+    run_config(cfg, "2-way set associative (64 sets)");
+  }
+  {
+    cache::CacheConfig cfg = base;
+    cfg.clock_hz = 40e6;
+    run_config(cfg, "40 MHz clock");
+  }
+  std::printf("\nReading: a lower miss penalty or a bigger cache shrinks the"
+              " cold/warm gap, and with it the benefit of consecutive "
+              "execution -- the effect the paper attributes to the memory "
+              "hierarchy.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Dynamic schedules and the stability fallback (paper Sec. VI): "with
+// scheduling policies resulting in dynamic schedules, it is very
+// challenging to optimize the control performance and instead some basic
+// properties (such as stability) are often resorted to."
+//
+// This bench makes that fallback concrete on the case study:
+//  1. run the three applications under preemptive EDF (periods = idle
+//     limits, cold WCETs -- reuse is not guaranteed under dynamic
+//     interleaving) and record each task's observed response-time range;
+//  2. design each controller for the worst-case uniform timing
+//     (h = T, tau = R_max);
+//  3. certify stability for EVERY timing realization inside the observed
+//     range via the joint spectral radius of the closed-loop family
+//     (common-diagonal-balanced norm bound).
+
+#include <cstdio>
+
+#include "control/design.hpp"
+#include "control/jsr.hpp"
+#include "core/case_study.hpp"
+#include "core/evaluator.hpp"
+#include "sched/edf.hpp"
+
+using namespace catsched;
+using linalg::Matrix;
+
+namespace {
+
+/// Augmented [x; u_prev] closed-loop matrix for one (h, tau) realization
+/// under the static gain K (the F r part does not affect stability).
+Matrix closed_loop(const control::ContinuousLTI& plant, double h, double tau,
+                   const Matrix& k) {
+  const auto ph = control::discretize_interval(plant, h, tau);
+  const std::size_t l = plant.order();
+  Matrix acl(l + 1, l + 1);
+  acl.set_block(0, 0, ph.ad + ph.b2 * k);
+  acl.set_block(0, l, ph.b1);
+  acl.set_block(l, 0, k);
+  return acl;
+}
+
+}  // namespace
+
+int main() {
+  core::SystemModel sys = core::date18_case_study();
+  core::Evaluator ev(sys, core::date18_design_options());
+  const auto wcets = ev.wcets();
+
+  // -- 1. EDF simulation -------------------------------------------------
+  std::vector<sched::EdfTask> tasks;
+  for (std::size_t i = 0; i < sys.num_apps(); ++i) {
+    tasks.push_back({sys.apps[i].tidle, wcets[i].cold_seconds});
+  }
+  const auto sim = sched::simulate_edf(tasks, 1.0);
+  std::printf("EDF, periods = idle limits, cold WCETs (U = %.2f): %s\n\n",
+              sim.utilization,
+              sim.any_miss ? "DEADLINE MISSES" : "all deadlines met");
+
+  control::DesignOptions dopts = core::date18_design_options();
+  dopts.pso.particles = 20;
+  dopts.pso.iterations = 35;
+  dopts.pso_restarts = 1;
+  dopts.scale_budget_with_dims = false;
+
+  std::printf("%-20s %9s %15s | %9s | %17s %s\n", "app", "T [ms]",
+              "tau range [ms]", "settle", "JSR [lo, up]", "verdict");
+  for (std::size_t i = 0; i < sys.num_apps(); ++i) {
+    const auto range = sim.response_range(i);
+
+    // -- 2. design for the worst-case uniform timing --------------------
+    const auto& app = sys.apps[i];
+    control::DesignSpec spec;
+    spec.plant = app.plant;
+    spec.umax = app.umax;
+    spec.r = app.r;
+    spec.y0 = app.y0;
+    spec.smax = app.smax;
+    const std::vector<sched::Interval> nominal = {
+        {tasks[i].period, range.max, false}};
+    const auto design = control::design_controller(spec, nominal, dopts);
+
+    // -- 3. JSR certificate over the observed timing family --------------
+    std::vector<Matrix> family;
+    for (const double tau : {range.min, 0.5 * (range.min + range.max),
+                             range.max}) {
+      family.push_back(closed_loop(app.plant, tasks[i].period, tau,
+                                   design.gains.k[0]));
+    }
+    const auto verdict = control::verify_arbitrary_switching(family, 10);
+    std::printf("%-20s %9.2f %6.2f - %5.2f | %7.2fms | [%6.3f, %6.3f] %s\n",
+                app.name.c_str(), tasks[i].period * 1e3, range.min * 1e3,
+                range.max * 1e3, design.settling_time * 1e3,
+                verdict.bound.lower, verdict.bound.upper,
+                verdict.stable     ? "STABLE for all switching"
+                : verdict.unstable ? "NO GUARANTEE (a timing mix diverges)"
+                                   : "inconclusive at this depth");
+  }
+
+  std::printf("\n(A STABLE verdict guarantees every interleaving of the "
+              "observed timings, a superset of what EDF can produce; NO "
+              "GUARANTEE means\n some mix of observed timings provably "
+              "diverges -- EDF's actual sequence may or may not realize "
+              "it. Either way the contrast with the\n static cache-aware "
+              "schedule stands: fixed timing is both guaranteed and "
+              "exploitable, the paper's closing argument.)\n");
+  return 0;
+}

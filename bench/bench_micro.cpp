@@ -1,0 +1,192 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks
+// that dominate the co-design runtime -- cache-trace replay, matrix
+// exponential, eigenvalues, switched simulation and one full PSO design.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/static_wcet.hpp"
+#include "cache/structure.hpp"
+#include "cache/wcet.hpp"
+#include "control/design.hpp"
+#include "control/lqr.hpp"
+#include "core/case_study.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lyap.hpp"
+#include "linalg/svd.hpp"
+#include "sched/timing.hpp"
+
+using namespace catsched;
+
+namespace {
+
+const core::SystemModel& sys() {
+  static const core::SystemModel s = core::date18_case_study();
+  return s;
+}
+
+void BM_CacheTraceReplay(benchmark::State& state) {
+  cache::CacheSim sim(sys().cache_config);
+  const auto& trace = sys().apps[0].program.trace;
+  std::uint64_t fetches = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_trace(trace));
+    fetches += trace.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fetches));
+}
+BENCHMARK(BM_CacheTraceReplay);
+
+void BM_WcetAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache::analyze_wcet(sys().apps[1].program, sys().cache_config));
+  }
+}
+BENCHMARK(BM_WcetAnalysis);
+
+void BM_Expm(benchmark::State& state) {
+  const linalg::Matrix a{{0.0, 1.0}, {-14400.0, -36.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::expm(a * 1e-3));
+  }
+}
+BENCHMARK(BM_Expm);
+
+void BM_ExpmWithIntegral(benchmark::State& state) {
+  const linalg::Matrix a{{0.0, 1.0}, {-14400.0, -36.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::expm_with_integral(a, 1e-3));
+  }
+}
+BENCHMARK(BM_ExpmWithIntegral);
+
+void BM_Eigenvalues(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * 31 + j * 7));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigenvalues(a));
+  }
+}
+BENCHMARK(BM_Eigenvalues)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_SwitchedSimulation(benchmark::State& state) {
+  const auto timing = sched::derive_timing(sys().analyze_wcets(),
+                                           sched::PeriodicSchedule({3, 2, 3}));
+  const auto& a = sys().apps[0];
+  control::SwitchedSimulator sim(a.plant, timing.apps[0].intervals, 1e-4);
+  const control::Equilibrium eq = control::equilibrium_at(a.plant, a.y0);
+  control::PhaseGains g;
+  for (std::size_t j = 0; j < 3; ++j) {
+    g.k.push_back(linalg::Matrix{{-1e-4, -1e-6}});
+    g.f.push_back(0.8);
+  }
+  control::SimOptions so;
+  so.r = a.r;
+  so.horizon = 40e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(g, eq.x, eq.u, so));
+  }
+}
+BENCHMARK(BM_SwitchedSimulation);
+
+void BM_Svd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = std::cos(static_cast<double>(i * 17 + j * 5));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::svd(a));
+  }
+}
+BENCHMARK(BM_Svd)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DiscreteLyapunov(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 0.4 * std::sin(static_cast<double>(i * 13 + j * 3)) /
+                static_cast<double>(n);
+    }
+  }
+  const linalg::Matrix q = linalg::Matrix::identity(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_discrete_lyapunov(a, q));
+  }
+}
+BENCHMARK(BM_DiscreteLyapunov)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_PeriodicLqr(benchmark::State& state) {
+  const auto timing = sched::derive_timing(sys().analyze_wcets(),
+                                           sched::PeriodicSchedule({3, 2, 3}));
+  const auto raw = control::discretize_phases(sys().apps[0].plant,
+                                              timing.apps[0].intervals);
+  const auto phases = control::augment_phases(raw);
+  const std::size_t nz = phases[0].a.rows();
+  const linalg::Matrix q = linalg::Matrix::identity(nz);
+  const linalg::Matrix r{{1.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control::periodic_lqr(phases, q, r));
+  }
+}
+BENCHMARK(BM_PeriodicLqr);
+
+void BM_StaticWcetAnalysis(benchmark::State& state) {
+  cache::RandomProgramOptions opts;
+  opts.seed = 42;
+  opts.max_depth = 3;
+  opts.branch_probability = 0.4;
+  opts.max_loop_bound = 6;
+  opts.address_lines = 256;
+  const auto prog = cache::make_random_program("bench", opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache::analyze_static_wcet(prog, sys().cache_config));
+  }
+}
+BENCHMARK(BM_StaticWcetAnalysis);
+
+void BM_AbstractCacheAccess(benchmark::State& state) {
+  cache::CachePair pair(sys().cache_config);
+  const auto& trace = sys().apps[0].program.trace;
+  std::uint64_t fetches = 0;
+  for (auto _ : state) {
+    for (const auto line : trace) {
+      benchmark::DoNotOptimize(pair.classify_and_access(line));
+    }
+    fetches += trace.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fetches));
+}
+BENCHMARK(BM_AbstractCacheAccess);
+
+void BM_FullControllerDesign(benchmark::State& state) {
+  const auto timing = sched::derive_timing(sys().analyze_wcets(),
+                                           sched::PeriodicSchedule({3, 2, 3}));
+  const auto& a = sys().apps[2];
+  control::DesignSpec spec;
+  spec.plant = a.plant;
+  spec.umax = a.umax;
+  spec.r = a.r;
+  spec.y0 = a.y0;
+  spec.smax = a.smax;
+  auto opts = core::date18_design_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        control::design_controller(spec, timing.apps[2].intervals, opts));
+  }
+}
+BENCHMARK(BM_FullControllerDesign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

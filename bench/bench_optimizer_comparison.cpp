@@ -1,0 +1,112 @@
+// Optimizer comparison (extends the paper's Sec. V search-efficiency
+// claim): the hybrid gradient search of Sec. IV versus genuine simulated
+// annealing, a genetic algorithm, and the exhaustive baseline, all on the
+// automotive case study. Reported per method: best schedule found, its
+// Pall, unique expensive evaluations spent, and wall time.
+//
+// The PSO design budget is trimmed symmetrically for every method (the
+// comparison is about search efficiency, not absolute performance).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/case_study.hpp"
+#include "core/codesign.hpp"
+#include "opt/anneal.hpp"
+#include "opt/genetic.hpp"
+
+using namespace catsched;
+using clock_type = std::chrono::steady_clock;
+
+namespace {
+
+control::DesignOptions trimmed_options() {
+  control::DesignOptions o = core::date18_design_options();
+  o.pso.particles = 16;
+  o.pso.iterations = 30;
+  o.pso.stall_iterations = 10;
+  o.pso_restarts = 1;
+  o.scale_budget_with_dims = false;
+  return o;
+}
+
+void report(const char* method, const std::vector<int>& best, double pall,
+            int evals, double secs) {
+  std::printf("%-14s best (%d, %d, %d)  Pall=%.4f  evaluations=%-3d  "
+              "[%.1f s]\n",
+              method, best[0], best[1], best[2], pall, evals, secs);
+}
+
+}  // namespace
+
+int main() {
+  core::SystemModel sys = core::date18_case_study();
+  opt::HybridOptions hopts;
+  hopts.tolerance = 0.005;
+
+  std::printf("schedule-space optimizer comparison on the DATE'18 case "
+              "study\n\n");
+
+  // Exhaustive reference.
+  {
+    core::Evaluator ev(sys, trimmed_options());
+    const auto t0 = clock_type::now();
+    const auto ex = core::exhaustive_codesign(ev, hopts);
+    const double secs =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+    report("exhaustive", ex.best_schedule.bursts(), ex.best_evaluation.pall,
+           ex.details.enumerated, secs);
+  }
+
+  // Hybrid (paper Sec. IV), two parallel starts.
+  {
+    core::Evaluator ev(sys, trimmed_options());
+    const auto t0 = clock_type::now();
+    const auto hy =
+        core::find_optimal_schedule(ev, {{4, 2, 2}, {1, 2, 1}}, hopts);
+    const double secs =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+    report("hybrid", hy.best_schedule.bursts(), hy.best_evaluation.pall,
+           hy.schedules_evaluated, secs);
+  }
+
+  // Simulated annealing.
+  {
+    core::Evaluator ev(sys, trimmed_options());
+    opt::EvalCache cache(core::make_objective(ev));
+    const auto cheap = core::make_cheap_feasible(ev);
+    opt::AnnealOptions aopts;
+    aopts.iterations = 120;
+    aopts.initial_temperature = 0.05;
+    aopts.cooling = 0.97;
+    aopts.max_value = 8;
+    const auto t0 = clock_type::now();
+    const auto res = anneal_search(cache, cheap, {1, 1, 1}, aopts);
+    const double secs =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+    report("annealing", res.best, res.best_value, res.evaluations, secs);
+    std::printf("               (accepted %d moves, %d uphill)\n",
+                res.accepted_moves, res.uphill_accepts);
+  }
+
+  // Genetic algorithm.
+  {
+    core::Evaluator ev(sys, trimmed_options());
+    opt::EvalCache cache(core::make_objective(ev));
+    const auto cheap = core::make_cheap_feasible(ev);
+    opt::GaOptions gopts;
+    gopts.population = 10;
+    gopts.generations = 8;
+    gopts.max_value = 8;
+    const auto t0 = clock_type::now();
+    const auto res = genetic_search(cache, cheap, sys.num_apps(), gopts);
+    const double secs =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+    report("genetic", res.best, res.best_value, res.evaluations, secs);
+  }
+
+  std::printf("\npaper reference: hybrid reaches the optimum with 9 and 18 "
+              "evaluations vs 76 exhaustive.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Preemptive RM + CRPD vs the paper's non-preemptive cache-aware bursts.
+//
+// The paper's schedules run each control task to completion, consecutively
+// per application -- which is exactly what makes cache reuse guaranteed.
+// The textbook alternative is preemptive fixed-priority (rate-monotonic)
+// scheduling: every application samples uniformly at its own period, but
+//  (a) cache reuse across jobs cannot be guaranteed (cold WCET per job),
+//  (b) every preemption inflicts a CRPD bound (UCB/ECB analysis), and
+//  (c) the sensing-to-actuation delay becomes the RM response time.
+// This bench sweeps the preemptive operating point (periods as fractions
+// of the Table II idle limits), evaluates the same holistic controller
+// design on the resulting timing, and compares Pall against the
+// non-preemptive round-robin and cache-aware optima.
+
+#include <cstdio>
+#include <vector>
+
+#include "cache/crpd.hpp"
+#include "core/case_study.hpp"
+#include "core/evaluator.hpp"
+#include "sched/preemptive.hpp"
+
+using namespace catsched;
+
+namespace {
+
+control::DesignOptions trimmed_options() {
+  control::DesignOptions o = core::date18_design_options();
+  o.pso.particles = 20;
+  o.pso.iterations = 35;
+  o.pso_restarts = 1;
+  o.scale_budget_with_dims = false;
+  return o;
+}
+
+/// Pall of a full timing pattern under the case-study weights/deadlines.
+double evaluate_pall(const core::SystemModel& sys,
+                     const sched::ScheduleTiming& timing,
+                     std::vector<double>* settling_out) {
+  const auto opts = trimmed_options();
+  double pall = 0.0;
+  for (std::size_t i = 0; i < sys.num_apps(); ++i) {
+    const auto& app = sys.apps[i];
+    control::DesignSpec spec;
+    spec.plant = app.plant;
+    spec.umax = app.umax;
+    spec.r = app.r;
+    spec.y0 = app.y0;
+    spec.smax = app.smax;
+    const auto res =
+        control::design_controller(spec, timing.apps[i].intervals, opts);
+    if (settling_out) settling_out->push_back(res.settling_time);
+    const double pi =
+        res.settled ? 1.0 - res.settling_time / app.smax : -1.0;
+    pall += app.weight * pi;
+  }
+  return pall;
+}
+
+}  // namespace
+
+int main() {
+  core::SystemModel sys = core::date18_case_study();
+  core::Evaluator ev(sys, trimmed_options());
+  const auto wcets = ev.wcets();
+
+  // -- CRPD analysis of the three programs -----------------------------
+  std::printf("CRPD analysis (UCB/ECB on the case-study programs):\n");
+  std::vector<double> crpd_as_preemptor(sys.num_apps(), 0.0);
+  for (std::size_t j = 0; j < sys.num_apps(); ++j) {
+    // gamma_j: worst CRPD task j inflicts on any other task it preempts.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sys.num_apps(); ++i) {
+      if (i == j) continue;
+      worst = std::max(worst, cache::crpd_bound_seconds(
+                                  sys.apps[i].program, sys.apps[j].program,
+                                  sys.cache_config));
+    }
+    crpd_as_preemptor[j] = worst;
+    const auto ucb = cache::compute_ucb(sys.apps[j].program,
+                                        sys.cache_config);
+    std::printf("  %-20s UCB=%3zu useful lines, inflicts up to %.1f us "
+                "per preemption\n",
+                sys.apps[j].name.c_str(), ucb.max_useful,
+                worst * 1e6);
+  }
+
+  // -- Non-preemptive references ----------------------------------------
+  std::printf("\nnon-preemptive (paper):\n");
+  for (const std::vector<int> m :
+       {std::vector<int>{1, 1, 1}, std::vector<int>{2, 6, 2}}) {
+    const auto timing = sched::derive_timing(wcets,
+                                             sched::PeriodicSchedule(m));
+    std::vector<double> settle;
+    const double pall = evaluate_pall(sys, timing, &settle);
+    std::printf("  (%d,%d,%d): Pall=%.4f  settling %.1f/%.1f/%.1f ms\n",
+                m[0], m[1], m[2], pall, settle[0] * 1e3, settle[1] * 1e3,
+                settle[2] * 1e3);
+  }
+
+  // -- Preemptive RM sweep ----------------------------------------------
+  std::printf("\npreemptive RM + CRPD (T_i = frac x tidle_i, cold WCET "
+              "per job):\n");
+  for (const double frac : {1.0, 0.8, 0.6, 0.5, 0.4}) {
+    std::vector<sched::PreemptiveTask> tasks;
+    for (std::size_t i = 0; i < sys.num_apps(); ++i) {
+      sched::PreemptiveTask t;
+      t.period = frac * sys.apps[i].tidle;
+      t.wcet = wcets[i].cold_seconds;  // no cross-job reuse guarantee
+      t.crpd = crpd_as_preemptor[i];
+      tasks.push_back(t);
+    }
+    const auto rta = sched::response_time_analysis_rm(tasks);
+    if (!rta.all_schedulable) {
+      std::printf("  frac=%.1f: UNSCHEDULABLE (U=%.2f + CRPD)\n", frac,
+                  rta.utilization);
+      continue;
+    }
+    const auto timing = sched::preemptive_timing(tasks, rta);
+    std::vector<double> settle;
+    const double pall = evaluate_pall(sys, timing, &settle);
+    std::printf("  frac=%.1f: Pall=%.4f  U=%.2f  R=%.2f/%.2f/%.2f ms  "
+                "settling %.1f/%.1f/%.1f ms\n",
+                frac, pall, rta.utilization,
+                rta.response[0].value * 1e3, rta.response[1].value * 1e3,
+                rta.response[2].value * 1e3, settle[0] * 1e3,
+                settle[1] * 1e3, settle[2] * 1e3);
+  }
+
+  std::printf("\n(The paper's implicit claim quantified: non-preemptive "
+              "consecutive execution keeps warm WCETs and zero preemption "
+              "cost;\n preemptive RM pays cold WCETs + CRPD and must "
+              "sample slower to stay schedulable.)\n");
+  return 0;
+}

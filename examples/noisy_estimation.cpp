@@ -1,0 +1,63 @@
+// Noisy estimation demo: a servo regulated under schedule-induced switched
+// timing with process and measurement noise. Compares the periodic Kalman
+// filter (optimal for the noise model) against pole-placed Luenberger
+// observers at several pole radii -- the estimation-quality counterpart of
+// examples/output_feedback.cpp.
+//
+// Build & run:  ./build/examples/noisy_estimation
+
+#include <cstdio>
+
+#include "control/kalman.hpp"
+#include "control/observer.hpp"
+
+using namespace catsched;
+using control::Matrix;
+
+int main() {
+  control::ContinuousLTI plant;
+  plant.a = Matrix{{0.0, 1.0}, {0.0, -10.0}};
+  plant.b = Matrix{{0.0}, {200.0}};
+  plant.c = Matrix{{1.0, 0.0}};
+
+  const std::vector<sched::Interval> intervals = {
+      {0.010, 0.010, false}, {0.006, 0.006, true}, {0.030, 0.006, true}};
+  const auto phases = control::discretize_phases(plant, intervals);
+
+  // Noise model and a fixed stabilizing regulation gain.
+  control::NoisySimOptions nopts;
+  nopts.process_std = 0.02;
+  nopts.measurement_std = 0.05;
+  nopts.steps = 6000;
+  nopts.seed = 7;
+  const std::vector<Matrix> k(phases.size(), Matrix{{-5.0, -0.05}});
+
+  const Matrix q =
+      nopts.process_std * nopts.process_std * Matrix::identity(2);
+  const Matrix r{{nopts.measurement_std * nopts.measurement_std}};
+
+  const auto kalman = control::periodic_kalman(phases, plant.c, q, r);
+  std::printf("periodic Kalman filter converged in %d sweeps\n",
+              kalman.sweeps);
+  const auto res_kalman =
+      control::simulate_noisy_regulation(phases, plant.c, k, kalman.l,
+                                         nopts);
+  std::printf("%-22s rms est err %.5f   max %.5f\n", "Kalman (optimal):",
+              res_kalman.rms_estimation_error,
+              res_kalman.max_estimation_error);
+
+  for (const double radius : {0.0, 0.2, 0.5, 0.8}) {
+    const auto luen =
+        control::design_switched_observer(phases, plant.c, radius);
+    const auto res =
+        control::simulate_noisy_regulation(phases, plant.c, k, luen, nopts);
+    std::printf("Luenberger r=%.1f:      rms est err %.5f   max %.5f\n",
+                radius, res.rms_estimation_error,
+                res.max_estimation_error);
+  }
+
+  std::printf("\n(Fast observer poles amplify measurement noise; slow poles "
+              "track sluggishly.\n The Kalman gain is the optimal "
+              "trade-off for the declared noise covariances.)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Output-feedback demo: the paper assumes the full state x[k] is
+// measurable (Sec. II-A). This example drops that assumption: only the
+// position output of a servo is sensed; a switched Luenberger observer
+// reconstructs the velocity, and the holistic per-phase controller runs on
+// the estimate. The separation principle is verified numerically and the
+// output-feedback settling time is compared with the state-feedback one.
+//
+// Build & run:  ./build/examples/output_feedback
+
+#include <cstdio>
+
+#include "control/design.hpp"
+#include "control/observer.hpp"
+
+using namespace catsched;
+using control::Matrix;
+
+int main() {
+  // Servo plant: position/velocity states, position output.
+  control::ContinuousLTI plant;
+  plant.a = Matrix{{0.0, 1.0}, {0.0, -10.0}};
+  plant.b = Matrix{{0.0}, {200.0}};
+  plant.c = Matrix{{1.0, 0.0}};
+
+  // Schedule-induced timing: a warm burst of 2 plus the idle-gap interval.
+  const std::vector<sched::Interval> intervals = {
+      {0.010, 0.010, false}, {0.006, 0.006, true}, {0.030, 0.006, true}};
+
+  // -- Stage 1: holistic state-feedback design (paper Sec. III) ---------
+  control::DesignSpec spec;
+  spec.plant = plant;
+  spec.umax = 50.0;
+  spec.r = 0.3;  // 0.3 rad step
+  spec.smax = 0.5;
+  control::DesignOptions dopts;
+  dopts.pso.particles = 32;
+  dopts.pso.iterations = 60;
+  const auto design = control::design_controller(spec, intervals, dopts);
+  std::printf("state feedback:  settling %.1f ms, |u|max %.1f, feasible %s\n",
+              design.settling_time * 1e3, design.u_max_abs,
+              design.feasible ? "yes" : "no");
+
+  // -- Observer: per-phase gains, stability of the error monodromy ------
+  const auto phases = control::discretize_phases(plant, intervals);
+  const auto observer_gains =
+      control::design_switched_observer(phases, plant.c, 0.2);
+  const double rho_err = control::observer_error_spectral_radius(
+      phases, plant.c, observer_gains);
+  std::printf("observer:        error monodromy spectral radius %.3f "
+              "(stable: %s)\n",
+              rho_err, rho_err < 1.0 ? "yes" : "no");
+
+  const double rho_loop = control::output_feedback_spectral_radius(
+      phases, plant.c, design.gains, observer_gains);
+  std::printf("combined loop:   spectral radius %.3f (separation holds)\n",
+              rho_loop);
+
+  // -- Simulation: observer starts blind, plant starts displaced --------
+  const Matrix x0 = Matrix::column({0.05, -0.4});
+  const auto sim = control::simulate_output_feedback(
+      phases, plant.c, design.gains, observer_gains, x0, 0.0, spec.r, 0.8);
+  std::printf("\noutput feedback: settling %.1f ms (settled: %s), "
+              "|u|max %.1f\n",
+              sim.settling_time * 1e3, sim.settled ? "yes" : "no",
+              sim.u_max_abs);
+  std::printf("estimation error: %.3f initially -> %.2e at the horizon\n",
+              sim.est_err.front(), sim.final_est_err);
+
+  // Trace a few samples to show the estimate catching the true output.
+  std::printf("\n   t [ms]    y [rad]   est err\n");
+  for (std::size_t k = 0; k < sim.t.size(); k += sim.t.size() / 12) {
+    std::printf("  %7.1f   %8.4f   %.2e\n", sim.t[k] * 1e3, sim.y[k],
+                sim.est_err[k]);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Schedule Gantt demo: the paper's Fig. 2 / Fig. 4 strips as ASCII art.
+// Renders the case-study timeline under round-robin, the cache-aware
+// optimum, and an interleaved schedule -- uppercase letters are cold-cache
+// tasks (full WCET), lowercase are warm (reduced WCET), so the picture
+// makes the reuse visible: bursts shrink after their leader.
+//
+// Build & run:  ./build/examples/schedule_gantt
+
+#include <cstdio>
+
+#include "core/case_study.hpp"
+#include "core/evaluator.hpp"
+#include "sched/gantt.hpp"
+
+using namespace catsched;
+
+int main() {
+  core::SystemModel sys = core::date18_case_study();
+  core::Evaluator ev(sys, core::date18_design_options());
+  const auto wcets = ev.wcets();
+
+  const auto show = [&](const sched::InterleavedSchedule& schedule,
+                        const char* label) {
+    std::printf("%s  --  %s\n", label, schedule.to_string().c_str());
+    std::printf("%s\n",
+                sched::render_gantt(wcets, schedule, /*periods=*/2).c_str());
+  };
+
+  show(sched::InterleavedSchedule::from_periodic(
+           sched::PeriodicSchedule({1, 1, 1})),
+       "cache-oblivious round-robin");
+  show(sched::InterleavedSchedule::from_periodic(
+           sched::PeriodicSchedule({3, 2, 3})),
+       "paper's cache-aware optimum");
+  show(sched::InterleavedSchedule({{1, 2}, {0, 2}, {1, 2}, {2, 2}}, 3),
+       "an interleaved schedule (Sec. VI future work)");
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "cache/absint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace catsched::cache {
+
+AbstractCacheState::AbstractCacheState(const CacheConfig& config, Kind kind)
+    : config_(config), kind_(kind) {
+  ways_ = config.ways();
+  if (config.num_lines == 0 || ways_ == 0 ||
+      config.num_lines % ways_ != 0) {
+    throw std::invalid_argument(
+        "AbstractCacheState: lines must be a positive multiple of ways");
+  }
+  sets_ = config.num_sets();
+  sets_state_.resize(sets_);
+}
+
+void AbstractCacheState::access(std::uint64_t line) {
+  auto& set = sets_state_[set_of(line)];
+  const auto it = set.find(line);
+  const bool tracked = it != set.end();
+  const std::size_t accessed_age = tracked ? it->second : ways_;
+
+  if (kind_ == Kind::must) {
+    // Lines strictly younger than the accessed line's upper bound age by
+    // one (if the accessed line is untracked, everything ages).
+    for (auto m = set.begin(); m != set.end();) {
+      if (m->first != line && m->second < accessed_age) {
+        if (++m->second >= ways_) {
+          m = set.erase(m);  // upper bound reached associativity: evicted
+          continue;
+        }
+      }
+      ++m;
+    }
+  } else {
+    // May: lines at least as young as the accessed line's lower bound might
+    // age; their lower bounds advance only when ageing is certain, i.e.
+    // lb(m) <= lb(accessed) (see Ferdinand's update; an untracked accessed
+    // line is a definite miss, which ages every line).
+    for (auto m = set.begin(); m != set.end();) {
+      if (m->first != line && (!tracked || m->second <= accessed_age)) {
+        if (++m->second >= ways_) {
+          m = set.erase(m);  // even the youngest possibility is evicted
+          continue;
+        }
+      }
+      ++m;
+    }
+  }
+  set[line] = 0;
+}
+
+bool AbstractCacheState::contains(std::uint64_t line) const noexcept {
+  const auto& set = sets_state_[set_of(line)];
+  return set.find(line) != set.end();
+}
+
+std::size_t AbstractCacheState::age(std::uint64_t line) const noexcept {
+  const auto& set = sets_state_[set_of(line)];
+  const auto it = set.find(line);
+  return it != set.end() ? it->second : ways_;
+}
+
+void AbstractCacheState::join(const AbstractCacheState& other) {
+  if (kind_ != other.kind_ || sets_ != other.sets_ || ways_ != other.ways_) {
+    throw std::invalid_argument("AbstractCacheState::join: mismatched states");
+  }
+  for (std::size_t s = 0; s < sets_; ++s) {
+    auto& mine = sets_state_[s];
+    const auto& theirs = other.sets_state_[s];
+    if (kind_ == Kind::must) {
+      // Intersection with maximal (most pessimistic) age.
+      for (auto it = mine.begin(); it != mine.end();) {
+        const auto jt = theirs.find(it->first);
+        if (jt == theirs.end()) {
+          it = mine.erase(it);
+        } else {
+          it->second = std::max(it->second, jt->second);
+          ++it;
+        }
+      }
+    } else {
+      // Union with minimal (most optimistic) age.
+      for (const auto& [line, age] : theirs) {
+        const auto it = mine.find(line);
+        if (it == mine.end()) {
+          mine.emplace(line, age);
+        } else {
+          it->second = std::min(it->second, age);
+        }
+      }
+    }
+  }
+}
+
+std::size_t AbstractCacheState::tracked_lines() const noexcept {
+  std::size_t n = 0;
+  for (const auto& set : sets_state_) n += set.size();
+  return n;
+}
+
+const char* to_string(Classification c) noexcept {
+  switch (c) {
+    case Classification::always_hit:
+      return "AH";
+    case Classification::always_miss:
+      return "AM";
+    case Classification::not_classified:
+      return "NC";
+  }
+  return "?";
+}
+
+CachePair::CachePair(const CacheConfig& config)
+    : must_(config, AbstractCacheState::Kind::must),
+      may_(config, AbstractCacheState::Kind::may) {}
+
+Classification CachePair::classify(std::uint64_t line) const noexcept {
+  if (must_.contains(line)) return Classification::always_hit;
+  if (!may_.contains(line)) return Classification::always_miss;
+  return Classification::not_classified;
+}
+
+void CachePair::access(std::uint64_t line) {
+  must_.access(line);
+  may_.access(line);
+}
+
+Classification CachePair::classify_and_access(std::uint64_t line) {
+  const Classification c = classify(line);
+  access(line);
+  return c;
+}
+
+void CachePair::join(const CachePair& other) {
+  must_.join(other.must_);
+  may_.join(other.may_);
+}
+
+}  // namespace catsched::cache

@@ -1,0 +1,112 @@
+#pragma once
+/// \file absint.hpp
+/// \brief Abstract-interpretation cache domains for set-associative LRU
+///        caches: the classic must/may age analyses of Ferdinand & Wilhelm
+///        (the technique behind the static WCET tools the paper cites as
+///        [12]/[13]). A must state underapproximates cache contents (line
+///        present => guaranteed hit); a may state overapproximates them
+///        (line absent => guaranteed miss).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+
+namespace catsched::cache {
+
+/// One abstract cache state: per set, an age bound for every tracked line.
+/// Kind::must -> ages are upper bounds, join = intersection with max age.
+/// Kind::may  -> ages are lower bounds, join = union with min age.
+class AbstractCacheState {
+public:
+  enum class Kind { must, may };
+
+  /// Cold must-state over the default CacheConfig (for default-constructed
+  /// result aggregates; real analyses always pass an explicit config).
+  AbstractCacheState() : AbstractCacheState(CacheConfig{}, Kind::must) {}
+
+  /// Empty (cold) abstract cache.
+  /// \throws std::invalid_argument on inconsistent configuration.
+  AbstractCacheState(const CacheConfig& config, Kind kind);
+
+  Kind kind() const noexcept { return kind_; }
+  const CacheConfig& config() const noexcept { return config_; }
+
+  /// Abstract LRU update for an access to \p line (Ferdinand's transfer
+  /// functions: must ages lines strictly younger than the accessed line,
+  /// may ages lines at least as young).
+  void access(std::uint64_t line);
+
+  /// Must: line is definitely cached. May: line is possibly cached.
+  bool contains(std::uint64_t line) const noexcept;
+
+  /// Age bound of a line, or `ways` if not tracked.
+  std::size_t age(std::uint64_t line) const noexcept;
+
+  /// Join with another state of the same kind and configuration.
+  /// \throws std::invalid_argument on kind/config mismatch.
+  void join(const AbstractCacheState& other);
+
+  /// Number of tracked lines over all sets.
+  std::size_t tracked_lines() const noexcept;
+
+  bool operator==(const AbstractCacheState& other) const = default;
+
+private:
+  std::size_t set_of(std::uint64_t line) const noexcept {
+    return static_cast<std::size_t>(line % sets_);
+  }
+
+  CacheConfig config_;
+  Kind kind_ = Kind::must;
+  std::size_t sets_ = 0;
+  std::size_t ways_ = 0;
+  // Ordered maps keep operator== and join deterministic.
+  std::vector<std::map<std::uint64_t, std::size_t>> sets_state_;
+};
+
+/// Static classification of one instruction-fetch access point.
+enum class Classification {
+  always_hit,     ///< in the must cache: guaranteed hit
+  always_miss,    ///< not in the may cache: guaranteed miss
+  not_classified  ///< neither: treated as a miss in WCET bounds
+};
+
+const char* to_string(Classification c) noexcept;
+
+/// The must+may pair every analysis carries around.
+class CachePair {
+public:
+  /// Cold pair over the default CacheConfig (see AbstractCacheState()).
+  CachePair() : CachePair(CacheConfig{}) {}
+
+  /// Cold pair (both states empty: nothing guaranteed, nothing possible).
+  /// "Cold" here means *no line of this program* can be cached -- the right
+  /// entry assumption both for a truly empty cache and for a cache filled by
+  /// other applications (the paper assumes no inter-application sharing).
+  explicit CachePair(const CacheConfig& config);
+
+  /// Classify an access *before* performing it.
+  Classification classify(std::uint64_t line) const noexcept;
+
+  /// Perform the access on both states.
+  void access(std::uint64_t line);
+
+  /// Classify, update, and return the classification in one step.
+  Classification classify_and_access(std::uint64_t line);
+
+  void join(const CachePair& other);
+
+  const AbstractCacheState& must() const noexcept { return must_; }
+  const AbstractCacheState& may() const noexcept { return may_; }
+  const CacheConfig& config() const noexcept { return must_.config(); }
+
+  bool operator==(const CachePair& other) const = default;
+
+private:
+  AbstractCacheState must_;
+  AbstractCacheState may_;
+};
+
+}  // namespace catsched::cache

@@ -1,0 +1,61 @@
+#pragma once
+/// \file crpd.hpp
+/// \brief Cache-related preemption delay (CRPD) analysis: useful cache
+///        blocks (UCB) of a preempted task and evicting cache blocks (ECB)
+///        of a preempting task, composed into a per-preemption delay bound
+///        (Lee et al. / Altmeyer-style).
+///
+/// The paper sidesteps preemption entirely -- its consecutive bursts run
+/// non-preemptively, which is precisely why cache reuse survives. This
+/// module quantifies the alternative: under preemptive fixed-priority
+/// scheduling every preemption can evict useful lines, and the CRPD bound
+/// feeds the response-time analysis in sched/preemptive.hpp. Together they
+/// make the paper's implicit design choice measurable.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/program.hpp"
+
+namespace catsched::cache {
+
+/// UCB analysis result for one program on one cache.
+struct UcbResult {
+  /// max over program points of |{lines resident AND reused later}| --
+  /// the classic UCB count that bounds per-preemption reload cost.
+  std::size_t max_useful = 0;
+  /// Useful-line count at each program point (between accesses i and i+1).
+  std::vector<std::size_t> per_point;
+  /// The set of cache SETS ever holding a useful line (for the ECB
+  /// intersection refinement).
+  std::set<std::size_t> useful_sets;
+};
+
+/// Compute useful cache blocks along a program's worst-case trace: at each
+/// point, the lines resident in the concrete cache (cold start) that are
+/// re-accessed later in the trace. Exact for the trace (no abstraction).
+/// \throws std::invalid_argument on inconsistent cache configuration.
+UcbResult compute_ucb(const Program& program, const CacheConfig& config);
+
+/// Evicting cache blocks of a preempting program: every cache set its
+/// trace touches. (Any line in a touched set may be evicted under LRU.)
+std::set<std::size_t> compute_ecb_sets(const Program& program,
+                                       const CacheConfig& config);
+
+/// Per-preemption CRPD bound in cycles: useful lines whose set the
+/// preemptor touches, times the reload penalty (miss - hit).
+///   gamma = |useful_sets(victim)  intersect  ecb_sets(preemptor)|
+///           * ways * (miss - hit)          [ways = worst case per set]
+/// For a direct-mapped cache this is the classic UCB-intersection bound.
+std::uint64_t crpd_bound_cycles(const UcbResult& victim_ucb,
+                                const std::set<std::size_t>& preemptor_ecb,
+                                const CacheConfig& config);
+
+/// Convenience: CRPD bound of `victim` preempted by `preemptor`,
+/// in seconds.
+double crpd_bound_seconds(const Program& victim, const Program& preemptor,
+                          const CacheConfig& config);
+
+}  // namespace catsched::cache

@@ -1,0 +1,139 @@
+#include "cache/program.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace catsched::cache {
+
+std::size_t Program::distinct_lines() const {
+  std::set<std::uint64_t> s(trace.begin(), trace.end());
+  return s.size();
+}
+
+Program make_sequential_program(std::string name, std::size_t lines,
+                                std::size_t fetches_per_line,
+                                std::uint64_t base_line) {
+  if (fetches_per_line == 0) {
+    throw std::invalid_argument("make_sequential_program: zero fetches/line");
+  }
+  Program p;
+  p.name = std::move(name);
+  p.trace.reserve(lines * fetches_per_line);
+  for (std::size_t i = 0; i < lines; ++i) {
+    for (std::size_t f = 0; f < fetches_per_line; ++f) {
+      p.trace.push_back(base_line + i);
+    }
+  }
+  return p;
+}
+
+Program make_looped_program(std::string name, std::size_t lines,
+                            std::size_t loop_start, std::size_t loop_len,
+                            std::size_t iterations,
+                            std::uint64_t base_line) {
+  if (loop_start + loop_len > lines) {
+    throw std::invalid_argument("make_looped_program: loop exceeds program");
+  }
+  Program p;
+  p.name = std::move(name);
+  // Init section before the loop.
+  for (std::size_t i = 0; i < loop_start; ++i) p.trace.push_back(base_line + i);
+  // Loop body, repeated.
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < loop_len; ++i) {
+      p.trace.push_back(base_line + loop_start + i);
+    }
+  }
+  // Tail after the loop.
+  for (std::size_t i = loop_start + loop_len; i < lines; ++i) {
+    p.trace.push_back(base_line + i);
+  }
+  return p;
+}
+
+std::size_t CalibratedLayout::total_lines() const {
+  std::size_t n = singleton_lines;
+  for (std::size_t g : conflict_group_sizes) n += g;
+  return n;
+}
+
+Program make_calibrated_program(std::string name,
+                                const CalibratedLayout& layout,
+                                std::size_t num_sets,
+                                std::uint64_t base_line) {
+  if (num_sets == 0) {
+    throw std::invalid_argument("make_calibrated_program: zero sets");
+  }
+  if (base_line % num_sets != 0) {
+    throw std::invalid_argument(
+        "make_calibrated_program: base_line must be a multiple of num_sets");
+  }
+  if (layout.sets_used() > num_sets) {
+    throw std::invalid_argument(
+        "make_calibrated_program: layout needs more sets than the cache has");
+  }
+  for (std::size_t g : layout.conflict_group_sizes) {
+    if (g < 2) {
+      throw std::invalid_argument(
+          "make_calibrated_program: conflict groups must have >= 2 lines");
+    }
+  }
+
+  // Build the per-execution fetch order, one entry per line on the path.
+  std::vector<std::uint64_t> order;
+  order.reserve(layout.total_lines());
+  // Singletons: set s gets exactly one line (address base + s).
+  for (std::size_t s = 0; s < layout.singleton_lines; ++s) {
+    order.push_back(base_line + s);
+  }
+  // Conflict groups: group g occupies set (singletons + g); its k-th line
+  // sits one whole cache image higher each time so that all of them alias.
+  std::size_t set_cursor = layout.singleton_lines;
+  for (std::size_t g = 0; g < layout.conflict_group_sizes.size(); ++g) {
+    const std::size_t sz = layout.conflict_group_sizes[g];
+    for (std::size_t k = 0; k < sz; ++k) {
+      order.push_back(base_line + set_cursor + (k + 1) * num_sets);
+    }
+    ++set_cursor;
+  }
+
+  // Distribute extra intra-line fetches round-robin as immediate repeats.
+  const std::size_t L = order.size();
+  std::vector<std::size_t> repeats(L, 0);
+  if (L > 0) {
+    for (std::size_t e = 0; e < layout.extra_hit_fetches; ++e) {
+      ++repeats[e % L];
+    }
+  } else if (layout.extra_hit_fetches > 0) {
+    throw std::invalid_argument(
+        "make_calibrated_program: extra fetches with no lines");
+  }
+
+  Program p;
+  p.name = std::move(name);
+  p.trace.reserve(L + layout.extra_hit_fetches);
+  for (std::size_t i = 0; i < L; ++i) {
+    p.trace.push_back(order[i]);
+    for (std::size_t rpt = 0; rpt < repeats[i]; ++rpt) {
+      p.trace.push_back(order[i]);
+    }
+  }
+  return p;
+}
+
+CalibratedPrediction predict_calibrated_cycles(const CalibratedLayout& layout,
+                                               std::uint32_t hit_cycles,
+                                               std::uint32_t miss_cycles) {
+  const std::uint64_t l = layout.total_lines();
+  const std::uint64_t s = layout.singleton_lines;
+  const std::uint64_t e = layout.extra_hit_fetches;
+  const std::uint64_t cold =
+      miss_cycles * l + hit_cycles * e;
+  // Warm: singletons become hits; conflict lines still miss.
+  const std::uint64_t warm =
+      miss_cycles * (l - s) + hit_cycles * (s + e);
+  return CalibratedPrediction{cold, warm};
+}
+
+}  // namespace catsched::cache

@@ -1,0 +1,139 @@
+#include "cache/static_wcet.hpp"
+
+#include <stdexcept>
+
+namespace catsched::cache {
+
+namespace {
+
+struct PassCounts {
+  std::uint64_t cycles = 0;
+  std::uint64_t ah = 0;
+  std::uint64_t am = 0;
+  std::uint64_t nc = 0;
+
+  PassCounts& operator+=(const PassCounts& rhs) {
+    cycles += rhs.cycles;
+    ah += rhs.ah;
+    am += rhs.am;
+    nc += rhs.nc;
+    return *this;
+  }
+  PassCounts& scale(std::uint64_t n) {
+    cycles *= n;
+    ah *= n;
+    am *= n;
+    nc *= n;
+    return *this;
+  }
+};
+
+constexpr int kFixpointCap = 4096;
+
+/// Walk the tree, mutating `state` to the exit abstract cache and returning
+/// the worst-case cycle/classification counts.
+PassCounts analyze(const Stmt& stmt, CachePair& state,
+                   const CacheConfig& config) {
+  PassCounts out;
+  switch (stmt.kind) {
+    case Stmt::Kind::block: {
+      for (const std::uint64_t line : stmt.lines) {
+        switch (state.classify_and_access(line)) {
+          case Classification::always_hit:
+            ++out.ah;
+            out.cycles += config.hit_cycles;
+            break;
+          case Classification::always_miss:
+            ++out.am;
+            out.cycles += config.miss_cycles;
+            break;
+          case Classification::not_classified:
+            ++out.nc;
+            out.cycles += config.miss_cycles;  // pessimistic for the bound
+            break;
+        }
+      }
+      return out;
+    }
+    case Stmt::Kind::seq: {
+      for (const auto& child : stmt.children) {
+        out += analyze(child, state, config);
+      }
+      return out;
+    }
+    case Stmt::Kind::branch: {
+      CachePair else_state = state;
+      const PassCounts then_counts = analyze(stmt.children[0], state, config);
+      const PassCounts else_counts =
+          analyze(stmt.children[1], else_state, config);
+      state.join(else_state);
+      // Timing schema: the bound takes the costlier arm (its classification
+      // counts are reported, since they are what the bound is made of).
+      return then_counts.cycles >= else_counts.cycles ? then_counts
+                                                      : else_counts;
+    }
+    case Stmt::Kind::loop: {
+      // First iteration runs from the incoming state (cold misses happen
+      // here); remaining iterations run from the loop fixpoint (steady
+      // state), the "virtual unrolling" first/rest distinction.
+      const PassCounts first = analyze(stmt.children[0], state, config);
+      out += first;
+      if (stmt.bound == 1) return out;
+
+      CachePair fix = state;
+      bool stable = false;
+      for (int it = 0; it < kFixpointCap; ++it) {
+        CachePair probe = fix;
+        analyze(stmt.children[0], probe, config);  // counts discarded
+        CachePair joined = fix;
+        joined.join(probe);
+        if (joined == fix) {
+          stable = true;
+          break;
+        }
+        fix = std::move(joined);
+      }
+      if (!stable) {
+        throw std::runtime_error(
+            "analyze_static_wcet: loop fixpoint did not stabilize");
+      }
+      CachePair steady_state = fix;
+      PassCounts steady = analyze(stmt.children[0], steady_state, config);
+      steady.scale(static_cast<std::uint64_t>(stmt.bound) - 1);
+      out += steady;
+      state = std::move(steady_state);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StaticWcetResult analyze_static_wcet(const StructuredProgram& program,
+                                     const CacheConfig& config,
+                                     const std::optional<CachePair>& entry) {
+  CachePair state = entry.value_or(CachePair(config));
+  const PassCounts counts = analyze(program.root, state, config);
+  StaticWcetResult res{counts.cycles, counts.ah, counts.am, counts.nc,
+                       std::move(state)};
+  return res;
+}
+
+StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
+                                      const CacheConfig& config) {
+  StaticAppWcet out;
+  out.cold = analyze_static_wcet(program, config);
+  out.warm = analyze_static_wcet(program, config, out.cold.exit_state);
+  return out;
+}
+
+sched::AppWcet to_app_wcet(const StaticAppWcet& analysis,
+                           const CacheConfig& config) {
+  sched::AppWcet w;
+  w.cold_seconds = analysis.cold.wcet_seconds(config);
+  w.warm_seconds = analysis.warm.wcet_seconds(config);
+  return w;
+}
+
+}  // namespace catsched::cache

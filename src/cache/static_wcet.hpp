@@ -1,0 +1,71 @@
+#pragma once
+/// \file static_wcet.hpp
+/// \brief Structural static WCET analysis: walk the program tree with
+///        abstract must/may cache states, classify every instruction fetch
+///        (AH/AM/NC), and compose a guaranteed execution-cycle upper bound
+///        with the classic timing schema (seq = sum, branch = max,
+///        loop = first iteration + (bound-1) x steady iteration).
+///
+/// This is the analysis-side counterpart of analyze_wcet() in wcet.hpp
+/// (which *simulates* one concrete trace): it bounds all paths, and its
+/// warm-entry mode certifies the paper's "guaranteed WCET reduction"
+/// E^gu (Sec. II-B) without replaying a single fetch.
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/absint.hpp"
+#include "cache/structure.hpp"
+#include "sched/timing.hpp"
+
+namespace catsched::cache {
+
+/// Outcome of one static analysis pass.
+struct StaticWcetResult {
+  std::uint64_t wcet_cycles = 0;  ///< guaranteed upper bound on any path
+  /// Access classification counts over the worst-case composition (loop
+  /// bodies weighted by their iteration counts).
+  std::uint64_t always_hit = 0;
+  std::uint64_t always_miss = 0;
+  std::uint64_t not_classified = 0;
+  CachePair exit_state;  ///< abstract cache after the program
+
+  std::uint64_t classified_accesses() const noexcept {
+    return always_hit + always_miss + not_classified;
+  }
+  double wcet_seconds(const CacheConfig& config) const noexcept {
+    return static_cast<double>(wcet_cycles) * config.cycle_seconds();
+  }
+};
+
+/// Analyze a structured program from a given abstract entry state (cold
+/// pair if omitted).
+/// \throws std::runtime_error if a loop fixpoint fails to stabilize within
+///         the safety cap (cannot happen for finite age domains unless the
+///         implementation is broken -- the cap turns a hang into an error).
+StaticWcetResult analyze_static_wcet(
+    const StructuredProgram& program, const CacheConfig& config,
+    const std::optional<CachePair>& entry = std::nullopt);
+
+/// Cold + warm analysis in one call: the warm pass re-analyzes the program
+/// starting from the cold pass's exit state, which is exactly the paper's
+/// consecutive-execution scenario (the previous task of the same
+/// application just ran; no other application touched the cache).
+struct StaticAppWcet {
+  StaticWcetResult cold;
+  StaticWcetResult warm;
+
+  /// Guaranteed reduction E^gu = cold bound - warm bound (>= 0 by
+  /// monotonicity of the must domain).
+  std::uint64_t reduction_cycles() const noexcept {
+    return cold.wcet_cycles - warm.wcet_cycles;
+  }
+};
+StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
+                                      const CacheConfig& config);
+
+/// Convert to the scheduler-facing WCET pair (seconds).
+sched::AppWcet to_app_wcet(const StaticAppWcet& analysis,
+                           const CacheConfig& config);
+
+}  // namespace catsched::cache

@@ -1,0 +1,86 @@
+#pragma once
+/// \file structure.hpp
+/// \brief Structured control-program representation for static WCET
+///        analysis: a tree of straight-line blocks, two-way branches and
+///        bounded loops ("timing schema" form). The existing Program type
+///        is one concrete path; a StructuredProgram describes *all* paths,
+///        which is what the paper's WCET references [12]/[13] analyze.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/program.hpp"
+
+namespace catsched::cache {
+
+/// One node of the program tree. Built through the factory functions, which
+/// maintain the children/bound invariants per kind.
+struct Stmt {
+  enum class Kind {
+    block,   ///< straight-line run of instruction-fetch line addresses
+    seq,     ///< children executed in order
+    branch,  ///< children[0] = then, children[1] = else (may be empty seq)
+    loop     ///< children[0] executed `bound` times (bound >= 1)
+  };
+
+  Kind kind = Kind::block;
+  std::vector<std::uint64_t> lines;  ///< block only
+  std::vector<Stmt> children;
+  int bound = 0;  ///< loop only
+
+  static Stmt block(std::vector<std::uint64_t> lines);
+  static Stmt seq(std::vector<Stmt> stmts);
+  static Stmt branch(Stmt then_branch, Stmt else_branch);
+  /// \throws std::invalid_argument if bound < 1.
+  static Stmt loop(Stmt body, int bound);
+
+  /// Total instruction-fetch accesses on the longest (fully unrolled,
+  /// max-branch) path. \throws std::overflow_error on absurd loop nests.
+  std::uint64_t max_path_accesses() const;
+
+  /// Number of branch nodes in the tree (path count is <= 2^this per
+  /// loop-free program).
+  std::size_t branch_count() const;
+};
+
+/// A named structured program.
+struct StructuredProgram {
+  std::string name;
+  Stmt root;
+};
+
+/// Enumerate every execution path of the tree as a concrete line trace
+/// (loops unrolled `bound` times; both branch arms taken).
+/// \throws std::length_error if the path count would exceed \p max_paths.
+std::vector<std::vector<std::uint64_t>> enumerate_paths(
+    const Stmt& root, std::size_t max_paths = 4096);
+
+/// The single path of a branch-free tree, as a Program replayable on the
+/// CacheSim. \throws std::invalid_argument if the tree contains branches.
+Program flatten_to_program(const StructuredProgram& program);
+
+/// Draw \p count random execution paths (every branch decided by a fair
+/// deterministic coin, independently per loop iteration). Used when full
+/// enumeration explodes; sampling cannot *prove* soundness but probes it.
+std::vector<std::vector<std::uint64_t>> sample_paths(const Stmt& root,
+                                                     std::size_t count,
+                                                     std::uint32_t seed);
+
+/// Options for the seeded random program generator (property tests and the
+/// analysis-vs-simulation benches).
+struct RandomProgramOptions {
+  std::uint32_t seed = 1;
+  std::size_t max_depth = 3;        ///< nesting depth of branch/loop nodes
+  std::size_t max_block_lines = 8;  ///< lines per straight-line block
+  std::size_t address_lines = 64;   ///< line addresses drawn from [0, this)
+  int max_loop_bound = 6;
+  double branch_probability = 0.3;  ///< vs. loop at interior nodes
+  std::size_t stmts_per_seq = 3;
+};
+
+/// Deterministic random structured program (same seed -> same tree).
+StructuredProgram make_random_program(std::string name,
+                                      const RandomProgramOptions& opts);
+
+}  // namespace catsched::cache

@@ -1,0 +1,72 @@
+#include "cache/wcet.hpp"
+
+#include <stdexcept>
+
+namespace catsched::cache {
+
+WcetResult analyze_wcet(const Program& program, const CacheConfig& config,
+                        int warm_runs) {
+  if (warm_runs < 1) {
+    throw std::invalid_argument("analyze_wcet: warm_runs must be >= 1");
+  }
+  CacheSim sim(config);
+  WcetResult res;
+  res.cold_cycles = sim.run_trace(program.trace);
+  std::uint64_t prev = res.cold_cycles;
+  std::uint64_t last = res.cold_cycles;
+  for (int r = 0; r < warm_runs; ++r) {
+    prev = last;
+    last = sim.run_trace(program.trace);
+  }
+  res.warm_cycles = last;
+  res.steady = (warm_runs == 1) || (prev == last);
+  const double cyc = config.cycle_seconds();
+  res.cold_seconds = static_cast<double>(res.cold_cycles) * cyc;
+  res.warm_seconds = static_cast<double>(res.warm_cycles) * cyc;
+  res.reduction_seconds = res.cold_seconds - res.warm_seconds;
+  return res;
+}
+
+std::vector<TaskExecution> simulate_task_sequence(
+    const std::vector<Program>& programs,
+    const std::vector<std::size_t>& task_app_ids, const CacheConfig& config) {
+  CacheSim sim(config);
+  std::vector<TaskExecution> out;
+  out.reserve(task_app_ids.size());
+  double t = 0.0;
+  const double cyc = config.cycle_seconds();
+  std::size_t prev_app = static_cast<std::size_t>(-1);
+  std::size_t burst_pos = 0;
+  for (std::size_t id : task_app_ids) {
+    if (id >= programs.size()) {
+      throw std::out_of_range("simulate_task_sequence: bad app id");
+    }
+    burst_pos = (id == prev_app) ? burst_pos + 1 : 0;
+    prev_app = id;
+    TaskExecution te;
+    te.app = id;
+    te.burst_pos = burst_pos;
+    te.cycles = sim.run_trace(programs[id].trace);
+    te.start_seconds = t;
+    t += static_cast<double>(te.cycles) * cyc;
+    te.end_seconds = t;
+    out.push_back(te);
+  }
+  return out;
+}
+
+std::vector<std::size_t> expand_periodic_schedule(const std::vector<int>& m,
+                                                  std::size_t periods) {
+  std::vector<std::size_t> seq;
+  for (std::size_t p = 0; p < periods; ++p) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] < 0) {
+        throw std::invalid_argument("expand_periodic_schedule: negative mi");
+      }
+      for (int j = 0; j < m[i]; ++j) seq.push_back(i);
+    }
+  }
+  return seq;
+}
+
+}  // namespace catsched::cache

@@ -1,0 +1,44 @@
+#include "control/c2d.hpp"
+
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+
+namespace catsched::control {
+
+PhaseDynamics discretize_interval(const ContinuousLTI& plant, double h,
+                                  double tau) {
+  plant.validate();
+  if (h <= 0.0 || tau < 0.0 || tau > h * (1.0 + 1e-12)) {
+    throw std::invalid_argument(
+        "discretize_interval: need 0 <= tau <= h, h > 0");
+  }
+  tau = std::min(tau, h);
+  PhaseDynamics pd;
+  pd.h = h;
+  pd.tau = tau;
+  // x(h) = e^{Ah} x(0) + int_0^h e^{A(h-s)} B u(s) ds with
+  // u(s) = u_prev on [0,tau), u_new on [tau,h). Substituting v = h - s:
+  //   B1 = (Phi(h) - Phi(h-tau)) B,  B2 = Phi(h-tau) B.
+  const auto full = linalg::expm_with_integral(plant.a, h);
+  pd.ad = full.ad;
+  const Matrix phi_h = full.phi;
+  const Matrix phi_rest = linalg::expm_integral(plant.a, h - tau);
+  pd.b2 = phi_rest * plant.b;
+  pd.b1 = (phi_h - phi_rest) * plant.b;
+  pd.btot = phi_h * plant.b;
+  return pd;
+}
+
+std::vector<PhaseDynamics> discretize_phases(
+    const ContinuousLTI& plant,
+    const std::vector<sched::Interval>& intervals) {
+  std::vector<PhaseDynamics> out;
+  out.reserve(intervals.size());
+  for (const sched::Interval& iv : intervals) {
+    out.push_back(discretize_interval(plant, iv.h, iv.tau));
+  }
+  return out;
+}
+
+}  // namespace catsched::control

@@ -1,0 +1,35 @@
+#pragma once
+/// \file c2d.hpp
+/// \brief Continuous-to-discrete conversion with sensing-to-actuation delay
+///        (paper Sec. III): over one control interval of length h with
+///        delay tau <= h, the previous input is active on [0, tau) and the
+///        fresh input on [tau, h), giving
+///          x[k+1] = Ad x[k] + B1 u[k-1] + B2 u[k].
+
+#include <vector>
+
+#include "control/lti.hpp"
+#include "sched/timing.hpp"
+
+namespace catsched::control {
+
+/// Exact ZOH discretization of one interval with input delay.
+struct PhaseDynamics {
+  Matrix ad;   ///< exp(Ac h)
+  Matrix b1;   ///< effect of the held previous input (active for tau)
+  Matrix b2;   ///< effect of the fresh input (active for h - tau); zero when tau == h
+  Matrix btot; ///< b1 + b2 == full-interval ZOH input matrix
+  double h = 0.0;
+  double tau = 0.0;
+};
+
+/// Discretize one interval. \throws std::invalid_argument if h <= 0 or
+/// tau outside [0, h].
+PhaseDynamics discretize_interval(const ContinuousLTI& plant, double h,
+                                  double tau);
+
+/// Discretize every interval of one application's schedule timing.
+std::vector<PhaseDynamics> discretize_phases(
+    const ContinuousLTI& plant, const std::vector<sched::Interval>& intervals);
+
+}  // namespace catsched::control

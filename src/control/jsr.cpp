@@ -1,0 +1,181 @@
+#include "control/jsr.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/eig.hpp"
+#include "linalg/svd.hpp"
+
+namespace catsched::control {
+
+namespace {
+
+/// Spectral norm with a sound fallback: if the Jacobi SVD fails to
+/// converge (pathological products deep in the tree), the Frobenius norm
+/// still upper-bounds sigma_max, keeping the JSR upper bound valid.
+double spectral_norm(const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m(i, j))) {
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  try {
+    return linalg::svd(m).norm2();
+  } catch (const std::runtime_error&) {
+    return m.norm();  // Frobenius >= spectral
+  }
+}
+
+/// Spectral radius, or 0 when it cannot be evaluated (the lower bound is a
+/// max over evaluated products, so skipping one stays sound).
+double robust_rho(const Matrix& m) {
+  try {
+    return linalg::spectral_radius(m);
+  } catch (const std::runtime_error&) {
+    return 0.0;
+  }
+}
+
+/// Common diagonal similarity balancing the family: run Parlett-Reinsch on
+/// the elementwise-abs sum S = sum_i |A_i| while accumulating the scaling,
+/// then apply D^{-1} A_i D to every member. Diagonal similarities preserve
+/// the JSR, so this is pure conditioning.
+std::vector<Matrix> balance_family(const std::vector<Matrix>& mats) {
+  const std::size_t n = mats[0].rows();
+  Matrix s(n, n);
+  for (const auto& m : mats) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) s(i, j) += std::abs(m(i, j));
+    }
+  }
+  // Recover the balancing diagonal by probing balance() with a tagged
+  // copy: run the same algorithm on s directly and extract the scale from
+  // the transformed rows of a seeded marker... simpler: redo the
+  // Parlett-Reinsch loop here with an explicit scale vector.
+  std::vector<double> d(n, 1.0);
+  constexpr double radix = 2.0;
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double r = 0.0;
+      double c = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        c += std::abs(s(j, i));
+        r += std::abs(s(i, j));
+      }
+      if (c == 0.0 || r == 0.0) continue;
+      double f = 1.0;
+      double cc = c;
+      const double total = c + r;
+      while (cc < r / radix) {
+        f *= radix;
+        cc *= radix * radix;
+      }
+      while (cc > r * radix) {
+        f /= radix;
+        cc /= radix * radix;
+      }
+      if ((cc + r) / f < 0.95 * total) {
+        done = false;
+        d[i] *= f;
+        const double g = 1.0 / f;
+        for (std::size_t j = 0; j < n; ++j) s(i, j) *= g;
+        for (std::size_t j = 0; j < n; ++j) s(j, i) *= f;
+      }
+    }
+  }
+  std::vector<Matrix> out;
+  out.reserve(mats.size());
+  for (const auto& m : mats) {
+    Matrix t = m;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        t(i, j) = m(i, j) * d[j] / d[i];
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+JsrBound joint_spectral_radius(const std::vector<Matrix>& mats, int depth,
+                               long max_products) {
+  if (mats.empty()) {
+    throw std::invalid_argument("joint_spectral_radius: no matrices");
+  }
+  const std::size_t n = mats[0].rows();
+  for (const auto& m : mats) {
+    if (!m.is_square() || m.rows() != n) {
+      throw std::invalid_argument(
+          "joint_spectral_radius: matrices must be square, equal size");
+    }
+  }
+  if (depth < 1) {
+    throw std::invalid_argument("joint_spectral_radius: depth must be >= 1");
+  }
+  // Total products over all lengths: m + m^2 + ... + m^depth (guarding
+  // against overflow of the running power).
+  long total = 0;
+  long level = 1;
+  const long m_count = static_cast<long>(mats.size());
+  for (int k = 1; k <= depth; ++k) {
+    if (level > max_products / m_count) {
+      throw std::invalid_argument(
+          "joint_spectral_radius: enumeration exceeds max_products");
+    }
+    level *= m_count;
+    total += level;
+    if (total > max_products) {
+      throw std::invalid_argument(
+          "joint_spectral_radius: enumeration exceeds max_products");
+    }
+  }
+
+  JsrBound out;
+  out.depth = depth;
+  out.upper = std::numeric_limits<double>::infinity();
+
+  const std::vector<Matrix> family = balance_family(mats);
+
+  // BFS over product strings, length by length. `current` holds every
+  // product of length k.
+  std::vector<Matrix> current = {Matrix::identity(n)};
+  for (int k = 1; k <= depth; ++k) {
+    std::vector<Matrix> next;
+    next.reserve(current.size() * mats.size());
+    double level_norm_max = 0.0;
+    for (const auto& p : current) {
+      for (const auto& m : family) {
+        Matrix prod = m * p;
+        ++out.products;
+        const double rho = robust_rho(prod);
+        out.lower = std::max(out.lower,
+                             std::pow(rho, 1.0 / static_cast<double>(k)));
+        level_norm_max = std::max(level_norm_max, spectral_norm(prod));
+        next.push_back(std::move(prod));
+      }
+    }
+    out.upper = std::min(
+        out.upper, std::pow(level_norm_max, 1.0 / static_cast<double>(k)));
+    current = std::move(next);
+  }
+  return out;
+}
+
+ArbitrarySwitchingVerdict verify_arbitrary_switching(
+    const std::vector<Matrix>& mats, int depth, double margin) {
+  ArbitrarySwitchingVerdict v;
+  v.bound = joint_spectral_radius(mats, depth);
+  v.stable = v.bound.upper < 1.0 - margin;
+  v.unstable = v.bound.lower >= 1.0;
+  return v;
+}
+
+}  // namespace catsched::control

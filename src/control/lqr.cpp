@@ -1,0 +1,172 @@
+#include "control/lqr.hpp"
+
+#include <stdexcept>
+
+#include "linalg/eig.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/lyap.hpp"
+
+namespace catsched::control {
+
+namespace {
+
+void check_lqr_dims(const Matrix& a, const Matrix& b, const Matrix& q,
+                    const Matrix& r, const char* who) {
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  if (!a.is_square() || b.rows() != n || !q.is_square() || q.rows() != n ||
+      !r.is_square() || r.rows() != m) {
+    throw std::invalid_argument(std::string(who) + ": dimension mismatch");
+  }
+}
+
+/// One Riccati backward step: returns (P_new, K) for the given P_next.
+std::pair<Matrix, Matrix> riccati_step(const Matrix& a, const Matrix& b,
+                                       const Matrix& q, const Matrix& r,
+                                       const Matrix& p_next) {
+  const Matrix bt_p = b.transposed() * p_next;
+  const Matrix gram = r + bt_p * b;           // R + B^T P B
+  linalg::LU lu(gram);
+  if (lu.singular()) {
+    throw std::domain_error("riccati_step: R + B^T P B singular");
+  }
+  const Matrix k = lu.solve(bt_p * a);        // (R + B^T P B)^{-1} B^T P A
+  const Matrix at_p = a.transposed() * p_next;
+  Matrix p = q + at_p * a - at_p * b * k;
+  // Symmetrize to suppress round-off drift over long iterations.
+  p += p.transposed();
+  p *= 0.5;
+  return {p, k};
+}
+
+}  // namespace
+
+LqrGain dlqr(const Matrix& a, const Matrix& b, const Matrix& q,
+             const Matrix& r, const RiccatiOptions& opts) {
+  check_lqr_dims(a, b, q, r, "dlqr");
+  LqrGain out;
+  Matrix p = q;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    auto [p_new, k] = riccati_step(a, b, q, r, p);
+    const double delta = (p_new - p).max_abs();
+    p = std::move(p_new);
+    out.k = std::move(k);
+    out.iterations = it + 1;
+    if (delta <= opts.tol * (1.0 + p.max_abs())) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.p = std::move(p);
+  return out;
+}
+
+PeriodicPhase augment_phase(const PhaseDynamics& phase) {
+  const std::size_t l = phase.ad.rows();
+  // z = [x; u_prev]; the input is scalar in the SISO pipeline (b1/b2 are
+  // l x 1), but the construction is written for general column counts.
+  const std::size_t mu = phase.b1.cols();
+  Matrix a(l + mu, l + mu);
+  a.set_block(0, 0, phase.ad);
+  a.set_block(0, l, phase.b1);
+  Matrix b(l + mu, mu);
+  b.set_block(0, 0, phase.b2);
+  b.set_block(l, 0, Matrix::identity(mu));
+  return {std::move(a), std::move(b)};
+}
+
+std::vector<PeriodicPhase> augment_phases(
+    const std::vector<PhaseDynamics>& phases) {
+  std::vector<PeriodicPhase> out;
+  out.reserve(phases.size());
+  for (const auto& ph : phases) out.push_back(augment_phase(ph));
+  return out;
+}
+
+PeriodicLqrResult periodic_lqr(const std::vector<PeriodicPhase>& phases,
+                               const Matrix& q, const Matrix& r,
+                               const RiccatiOptions& opts) {
+  if (phases.empty()) {
+    throw std::invalid_argument("periodic_lqr: no phases");
+  }
+  for (const auto& ph : phases) {
+    check_lqr_dims(ph.a, ph.b, q, r, "periodic_lqr");
+  }
+  const std::size_t m = phases.size();
+
+  PeriodicLqrResult out;
+  out.k.assign(m, Matrix{});
+  out.p.assign(m, q);
+
+  // Cyclic value iteration: sweep backwards over the period until the
+  // per-phase cost-to-go matrices stop moving. P_j is the cost-to-go *at
+  // the start of phase j*; the step uses P_{j+1 mod m}.
+  for (int sweep = 0; sweep < opts.max_iterations; ++sweep) {
+    double delta = 0.0;
+    for (std::size_t jj = 0; jj < m; ++jj) {
+      const std::size_t j = m - 1 - jj;  // backwards
+      const Matrix& p_next = out.p[(j + 1) % m];
+      auto [p_new, k] = riccati_step(phases[j].a, phases[j].b, q, r, p_next);
+      delta = std::max(delta, (p_new - out.p[j]).max_abs());
+      out.p[j] = std::move(p_new);
+      out.k[j] = std::move(k);
+    }
+    out.sweeps = sweep + 1;
+    double scale = 1.0;
+    for (const auto& p : out.p) scale = std::max(scale, p.max_abs());
+    if (delta <= opts.tol * scale) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+Matrix periodic_cost_matrix(const std::vector<PeriodicPhase>& phases,
+                            const std::vector<Matrix>& gains, const Matrix& q,
+                            const Matrix& r) {
+  if (phases.empty() || gains.size() != phases.size()) {
+    throw std::invalid_argument(
+        "periodic_cost_matrix: gain count must match phase count");
+  }
+  const std::size_t m = phases.size();
+  const std::size_t n = phases[0].a.rows();
+
+  // Closed-loop phase maps and per-phase stage costs.
+  std::vector<Matrix> acl(m);
+  std::vector<Matrix> stage(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    acl[j] = phases[j].a - phases[j].b * gains[j];
+    stage[j] = q + gains[j].transposed() * r * gains[j];
+  }
+
+  // Monodromy M = Acl_{m-1} ... Acl_0 and accumulated one-period cost
+  // Qbar = sum_j Phi_j^T stage_j Phi_j with Phi_j = Acl_{j-1} ... Acl_0.
+  Matrix phi = Matrix::identity(n);
+  Matrix qbar = Matrix::zero(n, n);
+  for (std::size_t j = 0; j < m; ++j) {
+    qbar += phi.transposed() * stage[j] * phi;
+    phi = acl[j] * phi;
+  }
+  const Matrix& monodromy = phi;
+  if (!linalg::is_schur_stable(monodromy)) {
+    throw std::domain_error(
+        "periodic_cost_matrix: closed loop unstable, cost is infinite");
+  }
+  // S_0 = Qbar + M^T S_0 M  (Stein form A X B - X + C = 0).
+  return linalg::solve_stein(monodromy.transposed(), monodromy, qbar);
+}
+
+double periodic_regulation_cost(const std::vector<PeriodicPhase>& phases,
+                                const std::vector<Matrix>& gains,
+                                const Matrix& q, const Matrix& r,
+                                const Matrix& z0) {
+  const Matrix s0 = periodic_cost_matrix(phases, gains, q, r);
+  if (z0.size() != s0.rows() || !z0.is_column()) {
+    throw std::invalid_argument("periodic_regulation_cost: bad z0");
+  }
+  const Matrix j = z0.transposed() * s0 * z0;
+  return j(0, 0);
+}
+
+}  // namespace catsched::control

@@ -1,0 +1,92 @@
+#pragma once
+/// \file lqr.hpp
+/// \brief Discrete-time LQR: infinite-horizon Riccati iteration, periodic
+///        (cyclic) Riccati recursion for the switched schedule-induced
+///        dynamics, and exact infinite-horizon quadratic cost of a periodic
+///        closed loop (via a Stein equation on the monodromy).
+///
+/// The paper measures control performance by settling time and notes it is
+/// "more difficult to optimize than quadratic cost" (Sec. I). This module
+/// provides the quadratic-cost alternative: an unconstrained full-
+/// information baseline (feedback over the augmented state [x; u_prev])
+/// against which the paper's structured u = Kx design can be compared, and
+/// a second performance metric for the schedule evaluator.
+
+#include <vector>
+
+#include "control/c2d.hpp"
+#include "linalg/matrix.hpp"
+
+namespace catsched::control {
+
+/// Options for Riccati fixed-point iterations.
+struct RiccatiOptions {
+  int max_iterations = 20000;  ///< sweeps before giving up
+  double tol = 1e-12;          ///< max-abs change per sweep to declare done
+};
+
+/// Infinite-horizon discrete LQR result: u[k] = -K x[k] minimizes
+/// sum (x^T Q x + u^T R u) subject to x[k+1] = A x[k] + B u[k].
+struct LqrGain {
+  Matrix k;  ///< m x n optimal gain
+  Matrix p;  ///< n x n stabilizing DARE solution (cost-to-go: J = x0^T P x0)
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Solve the discrete algebraic Riccati equation by value iteration
+///   P <- Q + A^T P A - A^T P B (R + B^T P B)^{-1} B^T P A.
+/// Handles MIMO (B: n x m, R: m x m SPD).
+/// \throws std::invalid_argument on dimension mismatch or non-square Q/R.
+LqrGain dlqr(const Matrix& a, const Matrix& b, const Matrix& q,
+             const Matrix& r, const RiccatiOptions& opts = {});
+
+/// One phase of a generic periodic linear system x_{j+1} = A_j x_j + B_j u_j.
+struct PeriodicPhase {
+  Matrix a;
+  Matrix b;
+};
+
+/// Lift one delayed phase (x[k+1] = Ad x + B1 u_prev + B2 u) into the
+/// augmented state z = [x; u_prev]:
+///   z[k+1] = [Ad B1; 0 0] z[k] + [B2; I] u[k].
+PeriodicPhase augment_phase(const PhaseDynamics& phase);
+
+/// Lift a whole schedule-induced phase sequence.
+std::vector<PeriodicPhase> augment_phases(
+    const std::vector<PhaseDynamics>& phases);
+
+/// Periodic LQR: per-phase gains u_j = -K_j z_j minimizing the average
+/// quadratic cost of the m-periodic system. Solved by running the cyclic
+/// Riccati recursion backwards until the periodic fixed point is reached.
+struct PeriodicLqrResult {
+  std::vector<Matrix> k;  ///< one gain per phase
+  std::vector<Matrix> p;  ///< per-phase cost-to-go matrices
+  bool converged = false;
+  int sweeps = 0;  ///< full backwards passes over the period
+};
+
+/// \throws std::invalid_argument if phases is empty or dimensions disagree.
+PeriodicLqrResult periodic_lqr(const std::vector<PeriodicPhase>& phases,
+                               const Matrix& q, const Matrix& r,
+                               const RiccatiOptions& opts = {});
+
+/// Exact infinite-horizon regulation cost of the periodic closed loop
+/// z_{j+1} = (A_j - B_j K_j) z_j starting at z0 at phase 0:
+///   J = sum_j z_j^T (Q + K_j^T R K_j) z_j.
+/// Computed exactly through a Stein equation on the period (monodromy)
+/// map -- no simulation truncation error.
+/// \throws std::domain_error if the closed loop is not Schur stable (cost
+///         would be infinite).
+double periodic_regulation_cost(const std::vector<PeriodicPhase>& phases,
+                                const std::vector<Matrix>& gains,
+                                const Matrix& q, const Matrix& r,
+                                const Matrix& z0);
+
+/// The phase-0 cost-to-go matrix S_0 of the loop above: J = z0^T S_0 z0.
+/// \throws as periodic_regulation_cost.
+Matrix periodic_cost_matrix(const std::vector<PeriodicPhase>& phases,
+                            const std::vector<Matrix>& gains, const Matrix& q,
+                            const Matrix& r);
+
+}  // namespace catsched::control

@@ -1,0 +1,103 @@
+#include "control/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace catsched::control {
+
+StepMetrics step_metrics(const std::vector<double>& t,
+                         const std::vector<double>& y, double r, double y0) {
+  if (t.size() != y.size()) {
+    throw std::invalid_argument("step_metrics: t and y size mismatch");
+  }
+  if (t.size() < 2) {
+    throw std::invalid_argument("step_metrics: need at least two samples");
+  }
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] <= t[i - 1]) {
+      throw std::invalid_argument("step_metrics: time grid must increase");
+    }
+  }
+  const double span = r - y0;
+  if (span == 0.0) {
+    throw std::invalid_argument("step_metrics: reference equals y0");
+  }
+
+  StepMetrics m;
+  const double dir = span > 0.0 ? 1.0 : -1.0;  // step direction
+  const double lo = y0 + 0.1 * span;           // 10% level
+  const double hi = y0 + 0.9 * span;           // 90% level
+
+  double t_lo = std::numeric_limits<double>::quiet_NaN();
+  double t_hi = std::numeric_limits<double>::quiet_NaN();
+  double peak_excursion = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double progress = dir * (y[i] - y0);  // signed travel toward r
+    if (std::isnan(t_lo) && progress >= dir * (lo - y0)) {
+      // Linear interpolation of the crossing instant.
+      if (i == 0) {
+        t_lo = t[0];
+      } else {
+        const double f = (lo - y[i - 1]) / (y[i] - y[i - 1]);
+        t_lo = t[i - 1] + f * (t[i] - t[i - 1]);
+      }
+    }
+    if (std::isnan(t_hi) && progress >= dir * (hi - y0)) {
+      if (i == 0) {
+        t_hi = t[0];
+      } else {
+        const double f = (hi - y[i - 1]) / (y[i] - y[i - 1]);
+        t_hi = t[i - 1] + f * (t[i] - t[i - 1]);
+      }
+    }
+    if (progress > peak_excursion) {
+      peak_excursion = progress;
+      m.peak_time = t[i];
+      m.peak_value = y[i];
+    }
+    // Overshoot: travel beyond r; undershoot: travel opposite to the step.
+    const double beyond = dir * (y[i] - r);
+    if (beyond > 0.0) {
+      m.overshoot_pct = std::max(m.overshoot_pct,
+                                 100.0 * beyond / std::abs(span));
+    }
+    const double backwards = -dir * (y[i] - y0);
+    if (backwards > 0.0) {
+      m.undershoot_pct = std::max(m.undershoot_pct,
+                                  100.0 * backwards / std::abs(span));
+    }
+  }
+
+  m.rise_reached = !std::isnan(t_hi);
+  if (m.rise_reached) {
+    m.rise_time = t_hi - (std::isnan(t_lo) ? t.front() : t_lo);
+  } else {
+    m.rise_time = std::numeric_limits<double>::infinity();
+  }
+  m.steady_state_error = std::abs(y.back() - r) / std::abs(span);
+
+  // Trapezoidal integral criteria on the error e = y - r.
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    const double dt = t[i] - t[i - 1];
+    const double e0 = y[i - 1] - r;
+    const double e1 = y[i] - r;
+    m.iae += 0.5 * dt * (std::abs(e0) + std::abs(e1));
+    m.ise += 0.5 * dt * (e0 * e0 + e1 * e1);
+    m.itae += 0.5 * dt * (t[i - 1] * std::abs(e0) + t[i] * std::abs(e1));
+    m.itse += 0.5 * dt * (t[i - 1] * e0 * e0 + t[i] * e1 * e1);
+  }
+  return m;
+}
+
+StepMetrics step_metrics(const std::vector<double>& t,
+                         const std::vector<double>& y, double r) {
+  if (y.empty()) {
+    throw std::invalid_argument("step_metrics: empty trajectory");
+  }
+  return step_metrics(t, y, r, y.front());
+}
+
+}  // namespace catsched::control

@@ -1,0 +1,43 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Step-response quality metrics beyond the paper's settling time:
+///        overshoot, rise time, peak time, steady-state error, and the
+///        classical integral criteria (IAE, ISE, ITAE, ITSE). Used by the
+///        ablation benches to show that the cache-aware schedule's advantage
+///        is not an artifact of the settling-time metric.
+
+#include <vector>
+
+namespace catsched::control {
+
+/// Everything measurable from one step-response trajectory y(t) -> r.
+struct StepMetrics {
+  double overshoot_pct = 0.0;  ///< max (y - r)/|r - y0| beyond r, in percent
+  double undershoot_pct = 0.0; ///< max excursion below y0, in percent
+  double rise_time = 0.0;      ///< 10% -> 90% of (r - y0); inf if unreached
+  double peak_time = 0.0;      ///< time of the largest |y - y0|
+  double peak_value = 0.0;     ///< y at peak_time
+  double steady_state_error = 0.0;  ///< |y_end - r| / |r - y0|
+  double iae = 0.0;   ///< integral |e| dt
+  double ise = 0.0;   ///< integral e^2 dt
+  double itae = 0.0;  ///< integral t |e| dt
+  double itse = 0.0;  ///< integral t e^2 dt
+  bool rise_reached = false;  ///< 90% level was crossed
+};
+
+/// Measure all metrics of a sampled trajectory. Integrals use trapezoidal
+/// quadrature on the (possibly non-uniform) grid.
+/// \param t strictly increasing time stamps (>= 2 points)
+/// \param y outputs at those times
+/// \param r reference after the step
+/// \param y0 pre-step output level (defaults to y.front())
+/// \throws std::invalid_argument on size mismatch, too few points, a
+///         non-increasing grid, or r == y0 (no step to measure).
+StepMetrics step_metrics(const std::vector<double>& t,
+                         const std::vector<double>& y, double r, double y0);
+
+/// Overload using y.front() as the pre-step level.
+StepMetrics step_metrics(const std::vector<double>& t,
+                         const std::vector<double>& y, double r);
+
+}  // namespace catsched::control

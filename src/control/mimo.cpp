@@ -1,0 +1,203 @@
+#include "control/mimo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/svd.hpp"
+
+namespace catsched::control {
+
+void MimoContinuous::validate() const {
+  if (!a.is_square() || a.rows() == 0) {
+    throw std::invalid_argument("MimoContinuous: A must be square, nonempty");
+  }
+  if (b.rows() != a.rows() || b.cols() == 0) {
+    throw std::invalid_argument("MimoContinuous: B must be l x p, p >= 1");
+  }
+  if (c.cols() != a.rows() || c.rows() == 0) {
+    throw std::invalid_argument("MimoContinuous: C must be q x l, q >= 1");
+  }
+}
+
+MimoPhase discretize_mimo(const MimoContinuous& plant, double h, double tau) {
+  plant.validate();
+  if (h <= 0.0 || tau < 0.0 || tau > h) {
+    throw std::invalid_argument(
+        "discretize_mimo: need h > 0 and 0 <= tau <= h");
+  }
+  MimoPhase out;
+  out.h = h;
+  out.tau = tau;
+  // x(h) = e^{Ah} x0 + e^{A(h-tau)} Phi(tau) B u_prev + Phi(h-tau) B u.
+  const auto full = linalg::expm_with_integral(plant.a, h);
+  out.ad = full.ad;
+  const auto tail = linalg::expm_with_integral(plant.a, h - tau);
+  const Matrix phi_head = linalg::expm_integral(plant.a, tau);
+  out.b1 = tail.ad * phi_head * plant.b;
+  out.b2 = tail.phi * plant.b;
+  return out;
+}
+
+std::vector<MimoPhase> discretize_mimo_phases(
+    const MimoContinuous& plant,
+    const std::vector<sched::Interval>& intervals) {
+  std::vector<MimoPhase> out;
+  out.reserve(intervals.size());
+  for (const auto& iv : intervals) {
+    out.push_back(discretize_mimo(plant, iv.h, iv.tau));
+  }
+  return out;
+}
+
+MimoTarget steady_state_target(const MimoContinuous& plant, const Matrix& r,
+                               double tol) {
+  plant.validate();
+  const std::size_t l = plant.order();
+  const std::size_t p = plant.num_inputs();
+  const std::size_t q = plant.num_outputs();
+  if (r.rows() != q || !r.is_column()) {
+    throw std::invalid_argument("steady_state_target: r must be q x 1");
+  }
+  // Bordered system [[A, B], [C, 0]] [x; u] = [0; r].
+  Matrix m(l + q, l + p);
+  m.set_block(0, 0, plant.a);
+  m.set_block(0, l, plant.b);
+  m.set_block(l, 0, plant.c);
+  Matrix rhs = Matrix::zero(l + q, 1);
+  rhs.set_block(l, 0, r);
+
+  Matrix sol;
+  if (l + q == l + p) {
+    linalg::LU lu(m);
+    sol = lu.singular() ? linalg::pinv(m) * rhs : lu.solve(rhs);
+  } else {
+    sol = linalg::pinv(m) * rhs;
+  }
+  const double residual = (m * sol - rhs).max_abs();
+  if (residual > tol * (1.0 + rhs.max_abs())) {
+    throw std::domain_error(
+        "steady_state_target: no steady state holds this reference");
+  }
+  MimoTarget t;
+  t.x = sol.block(0, 0, l, 1);
+  t.u = sol.block(l, 0, p, 1);
+  return t;
+}
+
+MimoController design_mimo_controller(
+    const MimoContinuous& plant, const std::vector<sched::Interval>& intervals,
+    const Matrix& r_ref, const MimoDesignOptions& opts) {
+  plant.validate();
+  if (intervals.empty()) {
+    throw std::invalid_argument("design_mimo_controller: no intervals");
+  }
+  const std::size_t l = plant.order();
+  const std::size_t p = plant.num_inputs();
+
+  // Lift every delayed phase to the augmented state z = [x; u_prev].
+  std::vector<PeriodicPhase> lifted;
+  lifted.reserve(intervals.size());
+  for (const auto& iv : intervals) {
+    const MimoPhase ph = discretize_mimo(plant, iv.h, iv.tau);
+    Matrix a(l + p, l + p);
+    a.set_block(0, 0, ph.ad);
+    a.set_block(0, l, ph.b1);
+    Matrix b(l + p, p);
+    b.set_block(0, 0, ph.b2);
+    b.set_block(l, 0, Matrix::identity(p));
+    lifted.push_back({std::move(a), std::move(b)});
+  }
+
+  Matrix qw = Matrix::zero(l + p, l + p);
+  for (std::size_t i = 0; i < l; ++i) qw(i, i) = opts.q_state;
+  for (std::size_t i = l; i < l + p; ++i) qw(i, i) = opts.q_uprev;
+  Matrix rw = Matrix::zero(p, p);
+  for (std::size_t i = 0; i < p; ++i) rw(i, i) = opts.r_input;
+
+  const auto lqr = periodic_lqr(lifted, qw, rw, opts.riccati);
+
+  MimoController ctrl;
+  ctrl.k = lqr.k;
+  ctrl.converged = lqr.converged;
+  ctrl.target = steady_state_target(plant, r_ref);
+  return ctrl;
+}
+
+MimoSimResult simulate_mimo(const MimoContinuous& plant,
+                            const std::vector<sched::Interval>& intervals,
+                            const MimoController& ctrl, const Matrix& r_ref,
+                            double horizon, double band) {
+  plant.validate();
+  if (intervals.empty() || ctrl.k.size() != intervals.size()) {
+    throw std::invalid_argument(
+        "simulate_mimo: gain count must match interval count");
+  }
+  const std::size_t l = plant.order();
+  const std::size_t p = plant.num_inputs();
+  const std::size_t q = plant.num_outputs();
+  if (r_ref.rows() != q || !r_ref.is_column()) {
+    throw std::invalid_argument("simulate_mimo: r_ref must be q x 1");
+  }
+
+  const auto phases = discretize_mimo_phases(plant, intervals);
+
+  // Steady-state augmented target.
+  Matrix z_ss(l + p, 1);
+  z_ss.set_block(0, 0, ctrl.target.x);
+  z_ss.set_block(l, 0, ctrl.target.u);
+
+  MimoSimResult res;
+  Matrix x = Matrix::zero(l, 1);
+  Matrix u_prev = Matrix::zero(p, 1);
+  double time = 0.0;
+  std::size_t j = 0;
+  while (time <= horizon) {
+    const Matrix y = plant.c * x;
+    res.t.push_back(time);
+    std::vector<double> yk(q);
+    for (std::size_t i = 0; i < q; ++i) yk[i] = y(i, 0);
+    res.y.push_back(std::move(yk));
+
+    Matrix z(l + p, 1);
+    z.set_block(0, 0, x);
+    z.set_block(l, 0, u_prev);
+    const Matrix u = ctrl.target.u - ctrl.k[j] * (z - z_ss);
+    res.u_max_abs = std::max(res.u_max_abs, u.max_abs());
+
+    x = phases[j].ad * x + phases[j].b1 * u_prev + phases[j].b2 * u;
+    u_prev = u;
+    time += phases[j].h;
+    j = (j + 1) % phases.size();
+  }
+
+  // Settling: the first instant after which every channel stays inside its
+  // band for the rest of the horizon (the multi-channel generalization of
+  // settling_time() in switched.hpp).
+  std::ptrdiff_t last_outside = -1;
+  for (std::size_t k = 0; k < res.t.size(); ++k) {
+    for (std::size_t i = 0; i < q; ++i) {
+      const double scale =
+          std::abs(r_ref(i, 0)) > 0.0 ? std::abs(r_ref(i, 0)) : 1.0;
+      if (std::abs(res.y[k][i] - r_ref(i, 0)) > band * scale) {
+        last_outside = static_cast<std::ptrdiff_t>(k);
+        break;
+      }
+    }
+  }
+  if (last_outside + 1 < static_cast<std::ptrdiff_t>(res.t.size())) {
+    res.settled = true;
+    res.settling_time =
+        last_outside < 0 ? 0.0
+                         : res.t[static_cast<std::size_t>(last_outside + 1)];
+  } else {
+    res.settled = false;
+    res.settling_time = std::numeric_limits<double>::infinity();
+  }
+  return res;
+}
+
+}  // namespace catsched::control

@@ -1,0 +1,153 @@
+#include "control/observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "control/pole_place.hpp"
+#include "linalg/eig.hpp"
+
+namespace catsched::control {
+
+Matrix design_observer(const Matrix& ad, const Matrix& c,
+                       const std::vector<std::complex<double>>& poles) {
+  if (!ad.is_square() || c.rows() != 1 || c.cols() != ad.rows()) {
+    throw std::invalid_argument(
+        "design_observer: need square Ad and 1 x l C");
+  }
+  // Dual Ackermann: place_poles returns K with Ad^T + C^T K at the poles;
+  // (Ad - L C)^T = Ad^T + C^T (-L^T), hence L = -K^T.
+  Matrix k;
+  try {
+    k = place_poles(ad.transposed(), c.transposed(), poles);
+  } catch (const std::domain_error&) {
+    throw std::domain_error("design_observer: (Ad, C) is not observable");
+  }
+  return -k.transposed();
+}
+
+Matrix design_deadbeat_observer(const Matrix& ad, const Matrix& c) {
+  const std::vector<std::complex<double>> origin(ad.rows(), 0.0);
+  return design_observer(ad, c, origin);
+}
+
+std::vector<Matrix> design_switched_observer(
+    const std::vector<PhaseDynamics>& phases, const Matrix& c,
+    double pole_radius) {
+  if (phases.empty()) {
+    throw std::invalid_argument("design_switched_observer: no phases");
+  }
+  std::vector<Matrix> out;
+  out.reserve(phases.size());
+  for (const auto& ph : phases) {
+    const std::size_t l = ph.ad.rows();
+    std::vector<std::complex<double>> poles;
+    poles.reserve(l);
+    // Distinct real poles near the requested radius keep Ackermann
+    // well-conditioned (repeated non-zero poles are legal but stiffer).
+    for (std::size_t i = 0; i < l; ++i) {
+      poles.emplace_back(pole_radius * (1.0 - 0.1 * static_cast<double>(i)),
+                         0.0);
+    }
+    out.push_back(design_observer(ph.ad, c, poles));
+  }
+  return out;
+}
+
+double observer_error_spectral_radius(const std::vector<PhaseDynamics>& phases,
+                                      const Matrix& c,
+                                      const std::vector<Matrix>& gains) {
+  if (phases.empty() || gains.size() != phases.size()) {
+    throw std::invalid_argument(
+        "observer_error_spectral_radius: phase/gain count mismatch");
+  }
+  Matrix mono = Matrix::identity(phases[0].ad.rows());
+  for (std::size_t j = 0; j < phases.size(); ++j) {
+    mono = (phases[j].ad - gains[j] * c) * mono;
+  }
+  return linalg::spectral_radius(mono);
+}
+
+ObserverSimResult simulate_output_feedback(
+    const std::vector<PhaseDynamics>& phases, const Matrix& c,
+    const PhaseGains& gains, const std::vector<Matrix>& observer_gains,
+    const Matrix& x0, double u_prev0, double r, double horizon, double band) {
+  if (phases.empty() || gains.phases() != phases.size() ||
+      observer_gains.size() != phases.size()) {
+    throw std::invalid_argument(
+        "simulate_output_feedback: phase/gain count mismatch");
+  }
+  const std::size_t l = phases[0].ad.rows();
+  if (x0.rows() != l || !x0.is_column() || c.cols() != l || c.rows() != 1) {
+    throw std::invalid_argument("simulate_output_feedback: bad x0 or C");
+  }
+
+  ObserverSimResult res;
+  Matrix x = x0;
+  Matrix xhat = Matrix::zero(l, 1);  // observer starts blind
+  double u_prev = u_prev0;
+  double time = 0.0;
+  std::size_t j = 0;
+  while (time <= horizon) {
+    const double y = (c * x)(0, 0);
+    res.t.push_back(time);
+    res.y.push_back(y);
+    double err2 = 0.0;
+    for (std::size_t i = 0; i < l; ++i) {
+      const double d = x(i, 0) - xhat(i, 0);
+      err2 += d * d;
+    }
+    res.est_err.push_back(std::sqrt(err2));
+
+    const double u = (gains.k[j] * xhat)(0, 0) + gains.f[j] * r;
+    res.u_max_abs = std::max(res.u_max_abs, std::abs(u));
+
+    const double innovation = y - (c * xhat)(0, 0);
+    const Matrix x_next =
+        phases[j].ad * x + phases[j].b1 * u_prev + phases[j].b2 * u;
+    xhat = phases[j].ad * xhat + phases[j].b1 * u_prev + phases[j].b2 * u +
+           observer_gains[j] * innovation;
+    x = x_next;
+    u_prev = u;
+    time += phases[j].h;
+    j = (j + 1) % phases.size();
+  }
+
+  const SettlingInfo s = settling_time(res.t, res.y, r, band);
+  res.settling_time = s.time;
+  res.settled = s.settled;
+  res.final_est_err = res.est_err.back();
+  return res;
+}
+
+double output_feedback_spectral_radius(
+    const std::vector<PhaseDynamics>& phases, const Matrix& c,
+    const PhaseGains& gains, const std::vector<Matrix>& observer_gains) {
+  if (phases.empty() || gains.phases() != phases.size() ||
+      observer_gains.size() != phases.size()) {
+    throw std::invalid_argument(
+        "output_feedback_spectral_radius: phase/gain count mismatch");
+  }
+  const std::size_t l = phases[0].ad.rows();
+  const std::size_t n = 2 * l + 1;  // [x; e; u_prev]
+
+  Matrix mono = Matrix::identity(n);
+  for (std::size_t j = 0; j < phases.size(); ++j) {
+    const auto& ph = phases[j];
+    const Matrix bk = ph.b2 * gains.k[j];  // l x l
+    Matrix a(n, n);
+    // x+  = (Ad + B2 K) x - B2 K e + B1 u_prev
+    a.set_block(0, 0, ph.ad + bk);
+    a.set_block(0, l, -bk);
+    a.set_block(0, 2 * l, ph.b1);
+    // e+  = (Ad - L C) e  (separation: error evolves autonomously)
+    a.set_block(l, l, ph.ad - observer_gains[j] * c);
+    // u_prev+ = K x - K e
+    a.set_block(2 * l, 0, gains.k[j]);
+    a.set_block(2 * l, l, -gains.k[j]);
+    mono = a * mono;
+  }
+  return linalg::spectral_radius(mono);
+}
+
+}  // namespace catsched::control

@@ -1,0 +1,85 @@
+#pragma once
+/// \file observer.hpp
+/// \brief Luenberger state observers for the switched closed loop. The
+///        paper assumes the full state x[k] is measurable (Sec. II-A); this
+///        module removes that assumption: only y[k] = C x[k] is sensed, the
+///        controller feeds back an estimate, and the design is validated by
+///        the separation principle on the lifted periodic system.
+
+#include <complex>
+#include <vector>
+
+#include "control/c2d.hpp"
+#include "control/switched.hpp"
+
+namespace catsched::control {
+
+/// Observer gain L (l x 1 for SISO output) placing the eigenvalues of the
+/// error dynamics (Ad - L C) at the given locations, via Ackermann on the
+/// dual pair (Ad^T, C^T). The pole set must be closed under conjugation
+/// with exactly l entries.
+/// \throws std::invalid_argument on dimension/pole-count mismatch,
+///         std::domain_error if (Ad, C) is not observable.
+Matrix design_observer(const Matrix& ad, const Matrix& c,
+                       const std::vector<std::complex<double>>& poles);
+
+/// Deadbeat observer: all error poles at the origin; the estimation error
+/// of a fixed (non-switched) phase vanishes in at most l steps.
+Matrix design_deadbeat_observer(const Matrix& ad, const Matrix& c);
+
+/// Per-phase observer gains for a switched phase sequence (one L_j per
+/// interval, each placing the same relative pole pattern scaled to that
+/// phase). `pole_radius` 0 gives per-phase deadbeat.
+///
+/// CAUTION: per-phase pole placement does not by itself guarantee switched
+/// stability -- a product of per-phase-stable (even nilpotent!) error maps
+/// can have spectral radius >= 1. Always verify the returned gains with
+/// observer_error_spectral_radius() before deploying them.
+/// \throws as design_observer.
+std::vector<Matrix> design_switched_observer(
+    const std::vector<PhaseDynamics>& phases, const Matrix& c,
+    double pole_radius = 0.0);
+
+/// Spectral radius of the one-period error monodromy
+///   prod_j (Ad_j - L_j C);  < 1 iff the switched estimation error decays.
+/// \throws std::invalid_argument on count/dimension mismatch.
+double observer_error_spectral_radius(const std::vector<PhaseDynamics>& phases,
+                                      const Matrix& c,
+                                      const std::vector<Matrix>& gains);
+
+/// Output-feedback simulation result: the true output trace plus the
+/// estimation error trace.
+struct ObserverSimResult {
+  std::vector<double> t;        ///< sampling instants
+  std::vector<double> y;        ///< true sampled outputs
+  std::vector<double> est_err;  ///< ||x - xhat||_2 at each instant
+  double settling_time = 0.0;   ///< of the true output (sampled, band rel r)
+  bool settled = false;
+  double u_max_abs = 0.0;
+  double final_est_err = 0.0;
+};
+
+/// Simulate the switched loop under *output* feedback: per-phase controller
+/// u_j = K_j xhat + F_j r acting on the observer estimate, observer in
+/// prediction form
+///   xhat[k+1] = Ad_j xhat + B1_j u[k-1] + B2_j u[k] + L_j (y[k] - C xhat).
+/// The plant starts at x0 with held input u_prev0; the observer starts at
+/// xhat = 0 (worst-case ignorance).
+/// \throws std::invalid_argument on dimension mismatches.
+ObserverSimResult simulate_output_feedback(
+    const std::vector<PhaseDynamics>& phases, const Matrix& c,
+    const PhaseGains& gains, const std::vector<Matrix>& observer_gains,
+    const Matrix& x0, double u_prev0, double r, double horizon,
+    double band = 0.02);
+
+/// Spectral radius of the lifted (one period) closed loop of the combined
+/// plant + observer system; < 1 iff the output-feedback loop is stable.
+/// By the separation principle this factors into controller and observer
+/// spectra for each phase, but the product over a period is checked
+/// directly here.
+/// \throws std::invalid_argument on dimension mismatches.
+double output_feedback_spectral_radius(
+    const std::vector<PhaseDynamics>& phases, const Matrix& c,
+    const PhaseGains& gains, const std::vector<Matrix>& observer_gains);
+
+}  // namespace catsched::control

@@ -1,0 +1,56 @@
+#include "control/pole_place.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "control/lti.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/poly.hpp"
+
+namespace catsched::control {
+
+Matrix place_poles(const Matrix& a, const Matrix& b,
+                   const std::vector<std::complex<double>>& poles) {
+  if (!a.is_square() || b.rows() != a.rows() || b.cols() != 1) {
+    throw std::invalid_argument("place_poles: bad dimensions");
+  }
+  const std::size_t l = a.rows();
+  if (poles.size() != l) {
+    throw std::invalid_argument("place_poles: need exactly l poles");
+  }
+  const Matrix ctrb = controllability_matrix(a, b);
+  linalg::LU lu(ctrb);
+  if (lu.singular()) {
+    throw std::domain_error("place_poles: (A, B) not controllable");
+  }
+  // Ackermann: K_neg = e_l^T Ctrb^{-1} phi(A) yields poles of A - B K_neg.
+  // The paper's convention is u = K x, closed loop A + B K, so K = -K_neg.
+  const linalg::Poly phi = linalg::poly_from_roots(poles);
+  const Matrix phi_a = linalg::poly_eval(phi, a);
+  // Solve Ctrb^T w = e_l, then K_neg = w^T phi(A).
+  Matrix e_l(l, 1);
+  e_l(l - 1, 0) = 1.0;
+  const Matrix w = linalg::LU(ctrb.transposed()).solve(e_l);
+  const Matrix k_neg = w.transposed() * phi_a;
+  return -k_neg;
+}
+
+double static_feedforward(const Matrix& a, const Matrix& b, const Matrix& c,
+                          const Matrix& k) {
+  const std::size_t l = a.rows();
+  if (k.rows() != 1 || k.cols() != l) {
+    throw std::invalid_argument("static_feedforward: K must be 1 x l");
+  }
+  Matrix m = Matrix::identity(l) - a - b * k;
+  linalg::LU lu(m);
+  if (lu.singular()) {
+    throw std::domain_error("static_feedforward: I - A - BK singular");
+  }
+  const Matrix dc = c * lu.solve(b);
+  if (std::abs(dc(0, 0)) < 1e-14) {
+    throw std::domain_error("static_feedforward: zero DC gain");
+  }
+  return 1.0 / dc(0, 0);
+}
+
+}  // namespace catsched::control

@@ -1,0 +1,32 @@
+#pragma once
+/// \file pole_place.hpp
+/// \brief Ackermann pole placement for single-input systems, in the paper's
+///        sign convention u = K x (closed loop A + B K).
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace catsched::control {
+
+using linalg::Matrix;
+
+/// Compute the feedback row vector K (1 x l) such that the closed-loop
+/// matrix A + B K has the desired eigenvalues (Ackermann's formula; paper
+/// Sec. III references [15]). The pole set must be closed under
+/// conjugation and have exactly l entries.
+/// \throws std::invalid_argument on dimension/pole-count mismatch,
+///         std::domain_error if (A, B) is not controllable.
+Matrix place_poles(const Matrix& a, const Matrix& b,
+                   const std::vector<std::complex<double>>& poles);
+
+/// Paper eq. (11)/(17): static feedforward for zero steady-state tracking
+/// error of the single-rate closed loop x+ = (A + B K) x + B F r:
+///   F = 1 / (C (I - A - B K)^{-1} B).
+/// \throws std::domain_error if (I - A - B K) is singular or the DC gain
+///         is zero (uncontrollable output at DC).
+double static_feedforward(const Matrix& a, const Matrix& b, const Matrix& c,
+                          const Matrix& k);
+
+}  // namespace catsched::control

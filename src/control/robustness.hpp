@@ -1,0 +1,66 @@
+#pragma once
+/// \file robustness.hpp
+/// \brief Monte-Carlo robustness analysis of a designed switched controller:
+///        how do settling time, stability and saturation margins degrade
+///        when the true plant deviates from the model the gains were
+///        designed for? Complements the paper's nominal-case evaluation
+///        (its plants are textbook models of refs [16]-[18], so parameter
+///        uncertainty is the realistic gap to hardware).
+
+#include <cstdint>
+#include <vector>
+
+#include "control/design.hpp"
+
+namespace catsched::control {
+
+/// Knobs of a robustness study.
+struct RobustnessOptions {
+  double relative_spread = 0.05;  ///< multiplicative +-spread per A/B entry
+  int trials = 200;               ///< perturbed plants to evaluate
+  std::uint32_t seed = 1;         ///< deterministic RNG seed
+  double dense_dt = 1.0e-4;
+  double horizon_factor = 1.6;    ///< sim horizon = factor * smax
+};
+
+/// Aggregate outcome over all perturbed plants.
+struct RobustnessReport {
+  int trials = 0;
+  int stable = 0;    ///< closed-loop monodromy Schur stable
+  int settled = 0;   ///< settled within the simulation horizon
+  int within_deadline = 0;  ///< settling <= smax
+  int within_umax = 0;      ///< |u| <= umax throughout
+  double worst_settling = 0.0;   ///< max settling among settled trials
+  double mean_settling = 0.0;    ///< mean over settled trials
+  double nominal_settling = 0.0; ///< unperturbed settling, for reference
+  /// Settling time of every settled trial (for histograms in benches).
+  std::vector<double> settling_samples;
+
+  double stable_fraction() const noexcept {
+    return trials > 0 ? static_cast<double>(stable) / trials : 0.0;
+  }
+  double deadline_fraction() const noexcept {
+    return trials > 0 ? static_cast<double>(within_deadline) / trials : 0.0;
+  }
+};
+
+/// Evaluate fixed gains against plants perturbed entrywise around the spec's
+/// nominal model: every nonzero A/B entry is scaled by (1 + delta) with
+/// delta uniform in [-spread, +spread]. Zero entries stay zero (structural
+/// zeros of physical models are exact).
+/// \throws std::invalid_argument on bad spec/intervals/gain dimensions.
+RobustnessReport robustness_study(const DesignSpec& spec,
+                                  const std::vector<sched::Interval>& intervals,
+                                  const PhaseGains& gains,
+                                  const RobustnessOptions& opts = {});
+
+/// The largest relative spread (binary search, resolution \p resolution) at
+/// which every trial of a robustness study remains stable. A scalar
+/// "robustness margin" for schedule-vs-schedule comparisons.
+double stability_margin(const DesignSpec& spec,
+                        const std::vector<sched::Interval>& intervals,
+                        const PhaseGains& gains,
+                        const RobustnessOptions& opts = {},
+                        double max_spread = 0.5, double resolution = 0.01);
+
+}  // namespace catsched::control

@@ -1,0 +1,54 @@
+#include "core/codesign.hpp"
+
+#include <stdexcept>
+
+namespace catsched::core {
+
+opt::DiscreteObjective make_objective(Evaluator& evaluator) {
+  return [&evaluator](const std::vector<int>& m) {
+    const ScheduleEvaluation ev =
+        evaluator.evaluate(sched::PeriodicSchedule(m));
+    return opt::EvalOutcome{ev.pall, ev.feasible()};
+  };
+}
+
+opt::CheapFeasible make_cheap_feasible(const Evaluator& evaluator) {
+  return [&evaluator](const std::vector<int>& m) {
+    return evaluator.idle_feasible(sched::PeriodicSchedule(m));
+  };
+}
+
+CodesignResult find_optimal_schedule(
+    Evaluator& evaluator, const std::vector<std::vector<int>>& starts,
+    const opt::HybridOptions& opts) {
+  if (starts.empty()) {
+    throw std::invalid_argument("find_optimal_schedule: no start points");
+  }
+  CodesignResult res;
+  res.search = opt::hybrid_search_multistart(
+      make_objective(evaluator), make_cheap_feasible(evaluator), starts,
+      opts);
+  res.schedules_evaluated = res.search.total_unique_evaluations;
+  if (res.search.combined.found_feasible) {
+    res.found = true;
+    res.best_schedule = sched::PeriodicSchedule(res.search.combined.best);
+    res.best_evaluation = evaluator.evaluate(res.best_schedule);
+  }
+  return res;
+}
+
+ExhaustiveCodesignResult exhaustive_codesign(Evaluator& evaluator,
+                                             const opt::HybridOptions& opts) {
+  ExhaustiveCodesignResult res;
+  res.details = opt::exhaustive_search(make_objective(evaluator),
+                                       make_cheap_feasible(evaluator),
+                                       evaluator.model().num_apps(), opts);
+  if (res.details.found_feasible) {
+    res.found = true;
+    res.best_schedule = sched::PeriodicSchedule(res.details.best);
+    res.best_evaluation = evaluator.evaluate(res.best_schedule);
+  }
+  return res;
+}
+
+}  // namespace catsched::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file codesign.hpp
+/// \brief Stage 2 of the framework (paper Sec. IV): find the schedule
+///        maximizing overall control performance, by hybrid search or
+///        exhaustively. Ties the Evaluator to opt::discrete_search.
+
+#include "core/evaluator.hpp"
+#include "opt/discrete_search.hpp"
+
+namespace catsched::core {
+
+/// Result of a schedule optimization.
+struct CodesignResult {
+  sched::PeriodicSchedule best_schedule;
+  ScheduleEvaluation best_evaluation;
+  bool found = false;
+  int schedules_evaluated = 0;  ///< unique schedule evaluations
+  opt::MultiStartResult search;  ///< per-start details (hybrid only)
+};
+
+/// Adapter: the expensive discrete objective (full schedule evaluation).
+opt::DiscreteObjective make_objective(Evaluator& evaluator);
+
+/// Adapter: the cheap pre-filter (idle-time feasibility, eq. (4)).
+opt::CheapFeasible make_cheap_feasible(const Evaluator& evaluator);
+
+/// Run the hybrid search (Sec. IV) from the given start schedules.
+/// \throws std::invalid_argument if starts is empty.
+CodesignResult find_optimal_schedule(
+    Evaluator& evaluator, const std::vector<std::vector<int>>& starts,
+    const opt::HybridOptions& opts = {});
+
+/// Exhaustive baseline over the idle-feasible region.
+struct ExhaustiveCodesignResult {
+  sched::PeriodicSchedule best_schedule;
+  ScheduleEvaluation best_evaluation;
+  bool found = false;
+  opt::ExhaustiveResult details;
+};
+ExhaustiveCodesignResult exhaustive_codesign(
+    Evaluator& evaluator, const opt::HybridOptions& opts = {});
+
+}  // namespace catsched::core

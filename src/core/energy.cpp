@@ -1,0 +1,74 @@
+#include "core/energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace catsched::core {
+
+cache::CacheConfig scaled_config(const cache::CacheConfig& base,
+                                 const EnergyModel& model, double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("scaled_config: scale must be positive");
+  }
+  cache::CacheConfig cfg = base;
+  cfg.clock_hz = model.base_clock_hz * scale;
+  const double miss = std::round(model.miss_ns * 1e-9 * cfg.clock_hz);
+  cfg.miss_cycles = static_cast<std::uint32_t>(std::max(1.0, miss));
+  return cfg;
+}
+
+double average_power_watts(const EnergyModel& model, double scale) {
+  const double nj = model.nj_per_cycle * std::pow(scale,
+                                                  model.freq_exponent);
+  return nj * 1e-9 * model.base_clock_hz * scale;
+}
+
+std::vector<EnergyPoint> frequency_sweep(const SystemModel& base,
+                                         const EnergyModel& model,
+                                         const std::vector<double>& scales,
+                                         const EnergySweepOptions& opts) {
+  if (scales.empty()) {
+    throw std::invalid_argument("frequency_sweep: no scales");
+  }
+  std::vector<EnergyPoint> out;
+  out.reserve(scales.size());
+  for (const double s : scales) {
+    EnergyPoint pt;
+    pt.scale = s;
+    pt.power_w = average_power_watts(model, s);
+
+    SystemModel sys = base;
+    sys.cache_config = scaled_config(base.cache_config, model, s);
+    pt.clock_mhz = sys.cache_config.clock_hz / 1e6;
+    pt.miss_cycles = sys.cache_config.miss_cycles;
+
+    Evaluator evaluator(std::move(sys), opts.design);
+
+    const std::vector<int> ones(base.num_apps(), 1);
+    const sched::PeriodicSchedule roundrobin(ones);
+    if (evaluator.idle_feasible(roundrobin)) {
+      const auto rr = evaluator.evaluate(roundrobin);
+      if (rr.feasible()) pt.pall_roundrobin = rr.pall;
+    }
+
+    std::vector<std::vector<int>> starts;
+    for (const auto& st : opts.starts) {
+      if (st.size() == base.num_apps() &&
+          evaluator.idle_feasible(sched::PeriodicSchedule(st))) {
+        starts.push_back(st);
+      }
+    }
+    if (!starts.empty()) {
+      const auto res = find_optimal_schedule(evaluator, starts, opts.hybrid);
+      if (res.found) {
+        pt.feasible = true;
+        pt.pall_best = res.best_evaluation.pall;
+        pt.best_schedule = res.best_schedule;
+      }
+    }
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace catsched::core

@@ -1,0 +1,69 @@
+#pragma once
+/// \file energy.hpp
+/// \brief Frequency/energy co-design: scale the processor clock, keep the
+///        memory latency fixed in wall-clock time (the memory wall), and
+///        trade average power against overall control performance. Adjacent
+///        to the paper's conclusion ("impact of the memory hierarchy") and
+///        to the authors' battery-aware line of work (ref [17]): at higher
+///        clocks misses cost more cycles, so the cache reuse the schedule
+///        buys becomes MORE valuable.
+
+#include <vector>
+
+#include "core/codesign.hpp"
+
+namespace catsched::core {
+
+/// Simple DVFS-style energy model. Energy per executed cycle scales as
+/// (f/f0)^freq_exponent (voltage tracks frequency); the cache-miss stall
+/// is a fixed number of nanoseconds, so its cycle cost scales with f.
+struct EnergyModel {
+  double base_clock_hz = 20.0e6;   ///< f0, the paper's 20 MHz
+  double nj_per_cycle = 1.0;       ///< active energy per cycle at f0 [nJ]
+  double freq_exponent = 2.0;      ///< energy/cycle ~ (f/f0)^exponent
+  double miss_ns = 5000.0;         ///< fixed miss latency [ns]
+                                   ///< (= 100 cycles at 20 MHz, Table I)
+};
+
+/// Cache configuration at a frequency scale s: clock = s * f0 and
+/// miss_cycles = round(miss_ns * f) (>= 1); hit cost stays 1 cycle.
+/// \throws std::invalid_argument if scale <= 0.
+cache::CacheConfig scaled_config(const cache::CacheConfig& base,
+                                 const EnergyModel& model, double scale);
+
+/// Average power of the always-busy schedule loop at frequency scale s:
+/// the paper's schedules run tasks back-to-back, so
+///   P = energy/cycle(s) * clock(s) = nj_per_cycle * s^exp * s * f0.
+/// Returned in watts.
+double average_power_watts(const EnergyModel& model, double scale);
+
+/// One operating point of the frequency sweep.
+struct EnergyPoint {
+  double scale = 1.0;       ///< f / f0
+  double clock_mhz = 0.0;
+  double power_w = 0.0;
+  std::uint32_t miss_cycles = 0;
+  double pall_best = 0.0;       ///< best schedule's overall performance
+  double pall_roundrobin = 0.0; ///< cache-oblivious baseline at this clock
+  sched::PeriodicSchedule best_schedule;
+  bool feasible = false;
+};
+
+/// Knobs of the sweep.
+struct EnergySweepOptions {
+  opt::HybridOptions hybrid{};
+  control::DesignOptions design{};
+  std::vector<std::vector<int>> starts = {{1, 1, 1}, {2, 2, 2}};
+};
+
+/// Evaluate the co-design at every frequency scale: rebuild the cache
+/// config, re-run WCET analysis, find the best schedule, and record the
+/// power/performance pair. Infeasible points (e.g. idle-time violations at
+/// low clocks) are reported with feasible = false.
+/// \throws std::invalid_argument if scales is empty.
+std::vector<EnergyPoint> frequency_sweep(const SystemModel& base,
+                                         const EnergyModel& model,
+                                         const std::vector<double>& scales,
+                                         const EnergySweepOptions& opts = {});
+
+}  // namespace catsched::core

@@ -1,0 +1,92 @@
+#include "core/evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace catsched::core {
+
+namespace {
+
+/// Quantize an interval list to picoseconds for use as a memo key (two
+/// timing patterns closer than 1 ps are the same design problem).
+std::vector<std::int64_t> quantize(const std::vector<sched::Interval>& ivs) {
+  std::vector<std::int64_t> key;
+  key.reserve(ivs.size() * 2);
+  for (const auto& iv : ivs) {
+    key.push_back(static_cast<std::int64_t>(std::llround(iv.h * 1e12)));
+    key.push_back(static_cast<std::int64_t>(std::llround(iv.tau * 1e12)));
+  }
+  return key;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(SystemModel model, control::DesignOptions design_opts)
+    : model_(std::move(model)), design_opts_(design_opts) {
+  model_.validate();
+  wcets_ = model_.analyze_wcets();
+}
+
+bool Evaluator::idle_feasible(const sched::PeriodicSchedule& s) const {
+  return sched::idle_feasible(sched::derive_timing(wcets_, s),
+                              model_.tidle_vector());
+}
+
+bool Evaluator::idle_feasible(const sched::InterleavedSchedule& s) const {
+  return sched::idle_feasible(sched::derive_timing(wcets_, s),
+                              model_.tidle_vector());
+}
+
+AppEvaluation Evaluator::evaluate_app(
+    std::size_t app, const std::vector<sched::Interval>& intervals) {
+  ++design_requests_;
+  const MemoKey key{app, quantize(intervals)};
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  const Application& a = model_.apps[app];
+  control::DesignSpec spec;
+  spec.plant = a.plant;
+  spec.umax = a.umax;
+  spec.r = a.r;
+  spec.y0 = a.y0;
+  spec.smax = a.smax;
+
+  AppEvaluation ev;
+  ev.design = control::design_controller(spec, intervals, design_opts_);
+  ++designs_run_;
+  ev.settling_time = ev.design.settling_time;
+  ev.performance = std::isfinite(ev.settling_time)
+                       ? 1.0 - ev.settling_time / a.smax
+                       : -std::numeric_limits<double>::infinity();
+  ev.feasible = ev.design.feasible && ev.performance >= 0.0;
+  memo_.emplace(key, ev);
+  return ev;
+}
+
+ScheduleEvaluation Evaluator::evaluate(const sched::PeriodicSchedule& s) {
+  return evaluate(sched::InterleavedSchedule::from_periodic(s));
+}
+
+ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
+  ScheduleEvaluation out;
+  out.timing = sched::derive_timing(wcets_, s);
+  out.idle_feasible =
+      sched::idle_feasible(out.timing, model_.tidle_vector());
+  out.control_feasible = true;
+  out.pall = 0.0;
+  out.apps.reserve(model_.num_apps());
+  for (std::size_t i = 0; i < model_.num_apps(); ++i) {
+    AppEvaluation ev = evaluate_app(i, out.timing.apps[i].intervals);
+    out.control_feasible = out.control_feasible && ev.feasible;
+    if (std::isfinite(ev.performance)) {
+      out.pall += model_.apps[i].weight * ev.performance;
+    } else {
+      out.pall = -std::numeric_limits<double>::infinity();
+    }
+    out.apps.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace catsched::core

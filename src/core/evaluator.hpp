@@ -1,0 +1,76 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief Stage 1 of the framework: evaluate the overall control
+///        performance of one schedule (paper Sec. III + eq. (2)), with
+///        per-application memoization keyed on the application's timing
+///        pattern (a schedule change that leaves an app's intervals
+///        untouched reuses its design).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/system_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace catsched::core {
+
+/// Per-application outcome inside one schedule evaluation.
+struct AppEvaluation {
+  control::DesignResult design;
+  double settling_time = 0.0;  ///< s_i (infinity if never settles)
+  double performance = 0.0;    ///< P_i = 1 - s_i / s_i^max (paper eq. (2))
+  bool feasible = false;       ///< P_i >= 0 and design feasible (eq. (3))
+};
+
+/// Outcome of evaluating one schedule.
+struct ScheduleEvaluation {
+  sched::ScheduleTiming timing;
+  std::vector<AppEvaluation> apps;
+  double pall = 0.0;          ///< weighted overall performance (eq. (2))
+  bool idle_feasible = false; ///< eq. (4)
+  bool control_feasible = false;  ///< eq. (3) for every app
+  bool feasible() const noexcept {
+    return idle_feasible && control_feasible;
+  }
+};
+
+/// Evaluates schedules for a fixed SystemModel. Holds the WCET analysis
+/// results and a memo of per-application designs.
+class Evaluator {
+public:
+  /// Runs the cache/WCET analysis once up front.
+  /// \throws whatever SystemModel::validate/analyze_wcets throw.
+  Evaluator(SystemModel model, control::DesignOptions design_opts = {});
+
+  const SystemModel& model() const noexcept { return model_; }
+  const std::vector<sched::AppWcet>& wcets() const noexcept { return wcets_; }
+
+  /// Cheap feasibility: idle-time constraint only (paper eq. (4)).
+  bool idle_feasible(const sched::PeriodicSchedule& s) const;
+  bool idle_feasible(const sched::InterleavedSchedule& s) const;
+
+  /// Full evaluation: per-app holistic controller design + Pall.
+  ScheduleEvaluation evaluate(const sched::PeriodicSchedule& s);
+  ScheduleEvaluation evaluate(const sched::InterleavedSchedule& s);
+
+  /// Number of per-application designs actually run (cache misses).
+  int designs_run() const noexcept { return designs_run_; }
+  /// Number of per-application design requests (incl. memo hits).
+  int design_requests() const noexcept { return design_requests_; }
+
+private:
+  AppEvaluation evaluate_app(std::size_t app,
+                             const std::vector<sched::Interval>& intervals);
+
+  using MemoKey = std::pair<std::size_t, std::vector<std::int64_t>>;
+
+  SystemModel model_;
+  control::DesignOptions design_opts_;
+  std::vector<sched::AppWcet> wcets_;
+  std::map<MemoKey, AppEvaluation> memo_;
+  int designs_run_ = 0;
+  int design_requests_ = 0;
+};
+
+}  // namespace catsched::core

@@ -1,0 +1,157 @@
+#include "core/interleaved_codesign.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace catsched::core {
+
+namespace {
+
+using sched::InterleavedSchedule;
+using sched::Segment;
+
+/// Merge cyclically-adjacent same-app segments so the candidate satisfies
+/// the InterleavedSchedule invariant after a removal.
+std::vector<Segment> merge_adjacent(std::vector<Segment> segs) {
+  bool changed = true;
+  while (changed && segs.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const std::size_t j = (i + 1) % segs.size();
+      if (i != j && segs[i].app == segs[j].app) {
+        segs[i].count += segs[j].count;
+        segs.erase(segs.begin() + static_cast<std::ptrdiff_t>(j));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return segs;
+}
+
+/// Try to construct; invalid candidates are silently dropped.
+void push_if_valid(std::vector<InterleavedSchedule>& out,
+                   std::vector<Segment> segs, std::size_t num_apps) {
+  try {
+    out.emplace_back(std::move(segs), num_apps);
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+}  // namespace
+
+std::vector<InterleavedSchedule> interleaved_neighbors(
+    const InterleavedSchedule& schedule, const InterleavedSearchOptions& opts) {
+  const auto& segs = schedule.segments();
+  const std::size_t n = schedule.num_apps();
+  std::vector<InterleavedSchedule> out;
+
+  for (std::size_t s = 0; s < segs.size(); ++s) {
+    // Grow a burst.
+    if (segs[s].count < opts.max_burst) {
+      auto grown = segs;
+      ++grown[s].count;
+      push_if_valid(out, std::move(grown), n);
+    }
+    // Shrink a burst / remove a singleton segment.
+    if (segs[s].count > 1) {
+      auto shrunk = segs;
+      --shrunk[s].count;
+      push_if_valid(out, std::move(shrunk), n);
+    } else {
+      auto removed = segs;
+      removed.erase(removed.begin() + static_cast<std::ptrdiff_t>(s));
+      push_if_valid(out, merge_adjacent(std::move(removed)), n);
+    }
+    // Swap with the cyclic successor.
+    if (segs.size() > 2) {
+      auto swapped = segs;
+      std::swap(swapped[s], swapped[(s + 1) % swapped.size()]);
+      push_if_valid(out, std::move(swapped), n);
+    }
+  }
+
+  // Insert a fresh count-1 segment of any app at any gap.
+  if (segs.size() < static_cast<std::size_t>(opts.max_segments)) {
+    for (std::size_t app = 0; app < n; ++app) {
+      for (std::size_t gap = 0; gap <= segs.size(); ++gap) {
+        auto grown = segs;
+        grown.insert(grown.begin() + static_cast<std::ptrdiff_t>(gap),
+                     Segment{app, 1});
+        push_if_valid(out, std::move(grown), n);
+      }
+    }
+  }
+  return out;
+}
+
+InterleavedSearchResult interleaved_search(
+    Evaluator& evaluator, const InterleavedSchedule& start,
+    const InterleavedSearchOptions& opts) {
+  if (!evaluator.idle_feasible(start)) {
+    throw std::invalid_argument(
+        "interleaved_search: start violates the idle-time constraint");
+  }
+
+  InterleavedSearchResult res;
+  // Dedup on the canonical string so re-visits cost nothing and the
+  // evaluation count matches "distinct schedules evaluated".
+  std::map<std::string, ScheduleEvaluation> memo;
+  const auto evaluate = [&](const InterleavedSchedule& s) {
+    const std::string key = s.to_string();
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      it = memo.emplace(key, evaluator.evaluate(s)).first;
+    }
+    return it->second;
+  };
+
+  InterleavedSchedule current = start;
+  ScheduleEvaluation current_eval = evaluate(current);
+  res.path.push_back(current.to_string());
+  if (current_eval.feasible()) {
+    res.best = current;
+    res.best_evaluation = current_eval;
+    res.found = true;
+  }
+
+  for (int step = 0; step < opts.max_steps; ++step) {
+    const InterleavedSchedule* next = nullptr;
+    ScheduleEvaluation next_eval;
+    const auto neighbors = interleaved_neighbors(current, opts);
+    std::vector<InterleavedSchedule> kept;
+    kept.reserve(neighbors.size());
+    for (const auto& cand : neighbors) {
+      if (!evaluator.idle_feasible(cand)) continue;
+      kept.push_back(cand);
+    }
+    // Steepest ascent: evaluate every feasible neighbor, take the best.
+    for (const auto& cand : kept) {
+      const ScheduleEvaluation eval = evaluate(cand);
+      if (!eval.feasible()) continue;
+      if (next == nullptr || eval.pall > next_eval.pall) {
+        next = &cand;
+        next_eval = eval;
+      }
+    }
+    if (next == nullptr) break;
+    const double gain = next_eval.pall - current_eval.pall;
+    if (gain <= 0.0 && -gain > opts.tolerance) break;  // local optimum
+    if (gain <= 0.0 && next->to_string() == current.to_string()) break;
+    current = *next;
+    current_eval = next_eval;
+    res.path.push_back(current.to_string());
+    ++res.steps;
+    if (current_eval.feasible() &&
+        (!res.found || current_eval.pall > res.best_evaluation.pall)) {
+      res.best = current;
+      res.best_evaluation = current_eval;
+      res.found = true;
+    }
+    if (gain <= 0.0 && opts.tolerance == 0.0) break;
+  }
+  res.evaluations = static_cast<int>(memo.size());
+  return res;
+}
+
+}  // namespace catsched::core

@@ -1,0 +1,53 @@
+#pragma once
+/// \file interleaved_codesign.hpp
+/// \brief Search over general interleaved schedules (the paper's Sec. VI
+///        future work): local moves on the segment sequence -- grow/shrink
+///        a burst, move a task into a new segment, swap segments -- driven
+///        by the same expensive evaluation as the periodic search, with a
+///        hill climb + tolerance acceptance rule.
+
+#include <set>
+#include <string>
+
+#include "core/evaluator.hpp"
+
+namespace catsched::core {
+
+/// Knobs of the interleaved local search.
+struct InterleavedSearchOptions {
+  double tolerance = 0.0;      ///< accept moves losing at most this much
+  int max_steps = 60;          ///< accepted moves cap
+  int max_segments = 8;        ///< segment-count cap (schedule complexity)
+  int max_burst = 16;          ///< per-segment count cap
+};
+
+/// Outcome of the interleaved search.
+struct InterleavedSearchResult {
+  sched::InterleavedSchedule best;
+  ScheduleEvaluation best_evaluation;
+  bool found = false;
+  int steps = 0;
+  int evaluations = 0;  ///< distinct schedules evaluated
+  std::vector<std::string> path;  ///< accepted schedules, start first
+};
+
+/// All valid one-move neighbors of an interleaved schedule:
+///  * increment / decrement one segment's count,
+///  * remove a count-1 segment (merging newly adjacent same-app segments),
+///  * insert a new count-1 segment of any app at any gap,
+///  * swap two cyclically adjacent segments.
+/// Only schedules passing InterleavedSchedule's own invariants are
+/// returned; the segment/burst caps prune the move set.
+std::vector<sched::InterleavedSchedule> interleaved_neighbors(
+    const sched::InterleavedSchedule& schedule,
+    const InterleavedSearchOptions& opts = {});
+
+/// Steepest-ascent local search from \p start over interleaved schedules,
+/// evaluating through \p evaluator (idle-infeasible neighbors are skipped
+/// before any controller design runs).
+/// \throws std::invalid_argument if start is idle-infeasible.
+InterleavedSearchResult interleaved_search(
+    Evaluator& evaluator, const sched::InterleavedSchedule& start,
+    const InterleavedSearchOptions& opts = {});
+
+}  // namespace catsched::core

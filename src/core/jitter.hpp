@@ -1,0 +1,57 @@
+#pragma once
+/// \file jitter.hpp
+/// \brief Execution-time jitter study: the paper designs controllers for
+///        the WCET-derived timing (fixed h_i(j), tau_i(j)), but real task
+///        instances finish early (Eac <= Ewc, Fig. 3). This module replays
+///        the schedule with randomized per-instance execution times and
+///        measures how the WCET-designed gains perform under the resulting
+///        sampling/delay jitter -- the quantitative side of the paper's
+///        Sec. VI remark that dynamic timing is hard to exploit.
+
+#include <cstdint>
+
+#include "control/design.hpp"
+#include "sched/timing.hpp"
+
+namespace catsched::core {
+
+/// Knobs of a jitter study.
+struct JitterOptions {
+  /// Actual execution time of every task instance is drawn uniformly from
+  /// [bcet_fraction, 1] x (its cold/warm WCET).
+  double bcet_fraction = 0.6;
+  int trials = 50;
+  std::uint32_t seed = 1;
+  std::size_t periods = 256;  ///< schedule periods simulated per trial
+  double band = 0.02;
+};
+
+/// Aggregate outcome.
+struct JitterReport {
+  double nominal_settling = 0.0;  ///< settling under exact WCET timing
+  int trials = 0;
+  int settled = 0;
+  double mean_settling = 0.0;   ///< over settled trials
+  double worst_settling = 0.0;
+  double best_settling = 0.0;
+  double mean_abs_shift = 0.0;  ///< mean |s_trial - nominal| over settled
+};
+
+/// Replay one application's closed loop under randomized execution times.
+/// The schedule structure (which app runs when, cold/warm status) is fixed;
+/// only the per-instance durations vary. Gains are applied cyclically by
+/// task position exactly as designed.
+/// \param wcets per-app WCETs (cold/warm), as analyze_wcets() returns
+/// \param schedule the periodic schedule the gains were designed for
+/// \param app index of the application under study
+/// \param spec its control spec (plant, reference, band source)
+/// \param gains its designed per-phase gains
+/// \throws std::invalid_argument on size mismatches or a bcet_fraction
+///         outside (0, 1].
+JitterReport jitter_study(const std::vector<sched::AppWcet>& wcets,
+                          const sched::PeriodicSchedule& schedule,
+                          std::size_t app, const control::DesignSpec& spec,
+                          const control::PhaseGains& gains,
+                          const JitterOptions& opts = {});
+
+}  // namespace catsched::core

@@ -1,0 +1,115 @@
+#include "core/multicore_codesign.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace catsched::core {
+
+MulticoreEvaluation evaluate_assignment(
+    const SystemModel& model, const sched::CoreAssignment& assignment,
+    const MulticoreOptions& opts) {
+  if (assignment.num_apps() != model.num_apps()) {
+    throw std::invalid_argument(
+        "evaluate_assignment: assignment size != application count");
+  }
+  const auto groups = assignment.apps_per_core();
+
+  MulticoreEvaluation out;
+  out.schedule.assignment = assignment;
+  out.schedule.per_core.resize(groups.size());
+  out.core_pall.resize(groups.size(), 0.0);
+  out.core_weight.resize(groups.size(), 0.0);
+  out.settling.assign(model.num_apps(),
+                      std::numeric_limits<double>::infinity());
+  out.feasible = true;
+
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    const auto& apps = groups[c];
+    double w_core = 0.0;
+    for (const std::size_t a : apps) w_core += model.apps[a].weight;
+    out.core_weight[c] = w_core;
+
+    // Weight-renormalized subproblem on this core's private cache.
+    SystemModel sub;
+    sub.cache_config = model.cache_config;
+    for (const std::size_t a : apps) {
+      Application app = model.apps[a];
+      app.weight /= w_core;
+      sub.apps.push_back(std::move(app));
+    }
+    Evaluator evaluator(std::move(sub), opts.design);
+
+    // Stage 2 on the subproblem.
+    sched::PeriodicSchedule best;
+    ScheduleEvaluation best_eval;
+    bool found = false;
+    int evaluated = 0;
+    if (opts.exhaustive_per_core) {
+      const auto ex = exhaustive_codesign(evaluator, opts.hybrid);
+      found = ex.found;
+      best = ex.best_schedule;
+      best_eval = ex.best_evaluation;
+      evaluated = ex.details.enumerated;
+    } else {
+      // Round-robin plus one cache-heavier start; both must pass the cheap
+      // filter (round-robin has the shortest periods, so if even it fails,
+      // the core is infeasible).
+      std::vector<std::vector<int>> starts;
+      const std::vector<int> ones(apps.size(), 1);
+      if (evaluator.idle_feasible(sched::PeriodicSchedule(ones))) {
+        starts.push_back(ones);
+      }
+      const std::vector<int> twos(apps.size(), 2);
+      if (evaluator.idle_feasible(sched::PeriodicSchedule(twos))) {
+        starts.push_back(twos);
+      }
+      if (!starts.empty()) {
+        const auto res = find_optimal_schedule(evaluator, starts,
+                                               opts.hybrid);
+        found = res.found;
+        best = res.best_schedule;
+        best_eval = res.best_evaluation;
+        evaluated = res.schedules_evaluated;
+      }
+    }
+    out.schedules_evaluated += evaluated;
+    if (!found) {
+      out.feasible = false;
+      out.schedule.per_core[c] =
+          sched::PeriodicSchedule(std::vector<int>(apps.size(), 1));
+      continue;
+    }
+    out.schedule.per_core[c] = best;
+    out.core_pall[c] = best_eval.pall;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      out.settling[apps[i]] = best_eval.apps[i].settling_time;
+    }
+  }
+
+  // Global objective: Pall = sum_c W_c * Pall_c (the renormalization
+  // cancels back to sum_i w_i P_i).
+  out.pall = 0.0;
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    out.pall += out.core_weight[c] * out.core_pall[c];
+  }
+  return out;
+}
+
+MulticoreCodesignResult multicore_codesign(const SystemModel& model,
+                                           const MulticoreOptions& opts) {
+  MulticoreCodesignResult result;
+  const auto assignments =
+      sched::enumerate_assignments(model.num_apps(), opts.max_cores);
+  for (const auto& assignment : assignments) {
+    MulticoreEvaluation eval = evaluate_assignment(model, assignment, opts);
+    if (eval.feasible &&
+        (!result.found || eval.pall > result.best.pall)) {
+      result.best = eval;
+      result.found = true;
+    }
+    result.all.push_back(std::move(eval));
+  }
+  return result;
+}
+
+}  // namespace catsched::core

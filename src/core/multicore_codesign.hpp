@@ -1,0 +1,57 @@
+#pragma once
+/// \file multicore_codesign.hpp
+/// \brief Multi-core co-design driver (paper Sec. VI's "natural extension"
+///        made concrete): enumerate partitions of the applications onto
+///        cores with private caches, run the two-stage framework per core,
+///        and pick the partition + per-core schedules maximizing the global
+///        weighted control performance.
+///
+/// With private caches there is no inter-core cache interference, so the
+/// global objective decomposes: Pall = sum_cores W_c * Pall_c, where W_c is
+/// the summed weight of the applications on core c and Pall_c is evaluated
+/// on the weight-renormalized per-core subproblem.
+
+#include "core/codesign.hpp"
+#include "sched/multicore.hpp"
+
+namespace catsched::core {
+
+/// Knobs of the multi-core search.
+struct MulticoreOptions {
+  std::size_t max_cores = 2;
+  opt::HybridOptions hybrid{};          ///< per-core schedule search bounds
+  control::DesignOptions design{};      ///< controller design knobs
+  bool exhaustive_per_core = false;     ///< exhaustive instead of hybrid
+};
+
+/// Outcome for one partition.
+struct MulticoreEvaluation {
+  sched::MulticoreSchedule schedule;  ///< partition + best per-core schedules
+  std::vector<double> core_pall;      ///< weight-renormalized per-core Pall
+  std::vector<double> core_weight;    ///< W_c (sums to 1)
+  double pall = 0.0;                  ///< global weighted performance
+  bool feasible = false;              ///< every core found a feasible schedule
+  int schedules_evaluated = 0;        ///< summed unique evaluations
+  /// Settling time per application (paper Table III rows), by app index.
+  std::vector<double> settling;
+};
+
+/// Outcome of the full partition sweep.
+struct MulticoreCodesignResult {
+  MulticoreEvaluation best;
+  std::vector<MulticoreEvaluation> all;  ///< one entry per partition
+  bool found = false;
+};
+
+/// Evaluate ONE partition: per-core two-stage co-design on the subproblem.
+/// \throws std::invalid_argument if the assignment size mismatches the
+///         model.
+MulticoreEvaluation evaluate_assignment(const SystemModel& model,
+                                        const sched::CoreAssignment& assignment,
+                                        const MulticoreOptions& opts = {});
+
+/// Full sweep over all partitions with at most opts.max_cores cores.
+MulticoreCodesignResult multicore_codesign(const SystemModel& model,
+                                           const MulticoreOptions& opts = {});
+
+}  // namespace catsched::core

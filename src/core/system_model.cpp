@@ -1,0 +1,56 @@
+#include "core/system_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace catsched::core {
+
+void SystemModel::validate() const {
+  if (apps.empty()) {
+    throw std::invalid_argument("SystemModel: no applications");
+  }
+  double wsum = 0.0;
+  for (const Application& a : apps) {
+    a.plant.validate();
+    if (a.weight < 0.0 || a.smax <= 0.0 || a.tidle <= 0.0 || a.umax <= 0.0) {
+      throw std::invalid_argument("SystemModel: bad application parameters");
+    }
+    if (a.program.trace.empty()) {
+      throw std::invalid_argument("SystemModel: application has no program");
+    }
+    wsum += a.weight;
+  }
+  if (std::abs(wsum - 1.0) > 1e-9) {
+    throw std::invalid_argument("SystemModel: weights must sum to 1");
+  }
+}
+
+std::vector<sched::AppWcet> SystemModel::analyze_wcets() const {
+  std::vector<sched::AppWcet> out;
+  out.reserve(apps.size());
+  for (const Application& a : apps) {
+    const cache::WcetResult w = cache::analyze_wcet(a.program, cache_config);
+    if (!w.steady) {
+      throw std::runtime_error("SystemModel: program '" + a.name +
+                               "' has no steady warm-cache WCET");
+    }
+    out.push_back(sched::AppWcet{w.cold_seconds, w.warm_seconds});
+  }
+  return out;
+}
+
+std::vector<double> SystemModel::tidle_vector() const {
+  std::vector<double> v;
+  v.reserve(apps.size());
+  for (const Application& a : apps) v.push_back(a.tidle);
+  return v;
+}
+
+std::vector<double> SystemModel::weight_vector() const {
+  std::vector<double> v;
+  v.reserve(apps.size());
+  for (const Application& a : apps) v.push_back(a.weight);
+  return v;
+}
+
+}  // namespace catsched::core

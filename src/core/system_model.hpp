@@ -1,0 +1,53 @@
+#pragma once
+/// \file system_model.hpp
+/// \brief The co-design problem instance: n control applications sharing
+///        one processor with an instruction cache (paper Sec. II).
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/program.hpp"
+#include "cache/wcet.hpp"
+#include "control/design.hpp"
+#include "sched/timing.hpp"
+
+namespace catsched::core {
+
+/// One feedback control application: its plant, its program image, and the
+/// parameters of Table II (weight, settling deadline, max idle time) plus
+/// the input saturation and reference step of Sec. II-A.
+struct Application {
+  std::string name;
+  control::ContinuousLTI plant;
+  cache::Program program;  ///< worst-case-path instruction trace
+  double weight = 1.0;     ///< w_i, sum over apps must be 1
+  double smax = 1.0;       ///< settling deadline s_i^max [s] (also s_i^0)
+  double tidle = 1.0;      ///< max allowed idle time t_i^idle [s]
+  double umax = 1.0;       ///< input saturation U^max
+  double r = 1.0;          ///< reference level after the step
+  double y0 = 0.0;         ///< pre-step equilibrium output
+};
+
+/// The full system: applications plus the shared cache/platform.
+struct SystemModel {
+  std::vector<Application> apps;
+  cache::CacheConfig cache_config{};
+
+  std::size_t num_apps() const noexcept { return apps.size(); }
+
+  /// \throws std::invalid_argument if empty, weights do not sum to ~1, or
+  ///         any application field is out of range.
+  void validate() const;
+
+  /// Run the WCET analysis (cold + guaranteed warm) for every application
+  /// on the shared cache. \throws std::runtime_error if any program does
+  /// not reach a steady warm state (its guaranteed reuse would be unsound).
+  std::vector<sched::AppWcet> analyze_wcets() const;
+
+  /// Table II-style constraint vectors.
+  std::vector<double> tidle_vector() const;
+  std::vector<double> weight_vector() const;
+};
+
+}  // namespace catsched::core

@@ -1,0 +1,113 @@
+#include "linalg/expm.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace catsched::linalg {
+
+namespace {
+
+// Pade coefficients (Higham 2005, "The scaling and squaring method for the
+// matrix exponential revisited").
+Matrix pade_expm(const Matrix& a, int degree) {
+  const std::size_t n = a.rows();
+  const Matrix eye = Matrix::identity(n);
+  const Matrix a2 = a * a;
+
+  std::vector<double> c;
+  switch (degree) {
+    case 3:
+      c = {120, 60, 12, 1};
+      break;
+    case 5:
+      c = {30240, 15120, 3360, 420, 30, 1};
+      break;
+    case 7:
+      c = {17297280, 8648640, 1995840, 277200, 25200, 1512, 56, 1};
+      break;
+    case 9:
+      c = {17643225600., 8821612800., 2075673600., 302702400., 30270240.,
+           2162160., 110880., 3960., 90., 1.};
+      break;
+    case 13:
+    default:
+      c = {64764752532480000., 32382376266240000., 7771770303897600.,
+           1187353796428800.,  129060195264000.,   10559470521600.,
+           670442572800.,      33522128640.,       1323241920.,
+           40840800.,          960960.,            16380.,
+           182.,               1.};
+      break;
+  }
+  // c ordered by ascending power: c[k] multiplies A^k. Split even/odd.
+  std::vector<double> even_c, odd_c;
+  for (std::size_t k = 0; k < c.size(); ++k) {
+    if (k % 2 == 0) {
+      even_c.push_back(c[k]);
+    } else {
+      odd_c.push_back(c[k]);
+    }
+  }
+  // U = A*(c1 I + c3 A^2 + c5 A^4 + ...), V = c0 I + c2 A^2 + ...
+  Matrix pow = eye;
+  Matrix u_inner = Matrix::zero(n, n);
+  Matrix v = Matrix::zero(n, n);
+  for (std::size_t k = 0; k < std::max(even_c.size(), odd_c.size()); ++k) {
+    if (k < odd_c.size()) u_inner += pow * odd_c[k];
+    if (k < even_c.size()) v += pow * even_c[k];
+    if (k + 1 < std::max(even_c.size(), odd_c.size())) pow = pow * a2;
+  }
+  const Matrix u = a * u_inner;
+  // exp(A) ~ (V - U)^{-1} (V + U)
+  return LU(v - u).solve(v + u);
+}
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("expm: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+  const double nrm = a.norm_1();
+  // Degree selection thresholds (theta values from Higham 2005).
+  if (nrm <= 1.495585217958292e-2) return pade_expm(a, 3);
+  if (nrm <= 2.539398330063230e-1) return pade_expm(a, 5);
+  if (nrm <= 9.504178996162932e-1) return pade_expm(a, 7);
+  if (nrm <= 2.097847961257068e0) return pade_expm(a, 9);
+  const double theta13 = 5.371920351148152e0;
+  int s = 0;
+  double scaled = nrm;
+  while (scaled > theta13) {
+    scaled /= 2.0;
+    ++s;
+  }
+  Matrix x = pade_expm(a * std::pow(2.0, -s), 13);
+  for (int i = 0; i < s; ++i) x = x * x;
+  return x;
+}
+
+Matrix expm_integral(const Matrix& a, double t) {
+  return expm_with_integral(a, t).phi;
+}
+
+ExpmPair expm_with_integral(const Matrix& a, double t) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("expm_integral: matrix must be square");
+  }
+  if (t < 0.0) {
+    throw std::invalid_argument("expm_integral: t must be non-negative");
+  }
+  const std::size_t n = a.rows();
+  // exp([[A, I],[0, 0]] t) = [[exp(A t), Phi(t)], [0, I]].
+  Matrix aug(2 * n, 2 * n);
+  aug.set_block(0, 0, a * t);
+  aug.set_block(0, n, Matrix::identity(n) * t);
+  const Matrix e = expm(aug);
+  return ExpmPair{e.block(0, 0, n, n), e.block(0, n, n, n)};
+}
+
+}  // namespace catsched::linalg

@@ -1,0 +1,29 @@
+#pragma once
+/// \file expm.hpp
+/// \brief Matrix exponential (scaling-and-squaring with Pade approximants)
+///        and the ZOH integral Phi(t) = integral_0^t exp(A s) ds, the two
+///        primitives behind continuous-to-discrete conversion.
+
+#include "linalg/matrix.hpp"
+
+namespace catsched::linalg {
+
+/// exp(A) via Higham-style scaling and squaring with a degree-13 Pade
+/// approximant (lower degrees for small norms).
+/// \throws std::invalid_argument if not square.
+Matrix expm(const Matrix& a);
+
+/// Phi(t) = integral_0^t exp(A s) ds, computed exactly from the exponential
+/// of the augmented matrix [[A, I], [0, 0]] (top-right block), which is
+/// well-defined even for singular A.
+/// \throws std::invalid_argument if not square or t < 0.
+Matrix expm_integral(const Matrix& a, double t);
+
+/// Convenience: both exp(A t) and Phi(t) in one augmented exponential.
+struct ExpmPair {
+  Matrix ad;   ///< exp(A t)
+  Matrix phi;  ///< integral_0^t exp(A s) ds
+};
+ExpmPair expm_with_integral(const Matrix& a, double t);
+
+}  // namespace catsched::linalg

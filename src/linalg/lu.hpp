@@ -1,0 +1,54 @@
+#pragma once
+/// \file lu.hpp
+/// \brief LU decomposition with partial pivoting: linear solves, inverse,
+///        determinant, and rank estimation for small dense systems.
+
+#include "linalg/matrix.hpp"
+
+namespace catsched::linalg {
+
+/// LU factorization with partial pivoting of a square matrix: P*A = L*U.
+///
+/// Built once, reused for repeated solves against different right-hand
+/// sides (the schedule evaluator solves the same steady-state system for
+/// several references).
+class LU {
+public:
+  /// Factor \p a. \throws std::invalid_argument if not square.
+  explicit LU(const Matrix& a);
+
+  /// True if a pivot fell below the singularity threshold.
+  bool singular() const noexcept { return singular_; }
+
+  /// Solve A x = b for one or many right-hand sides (b: n x k).
+  /// \throws std::invalid_argument on dimension mismatch,
+  ///         std::domain_error if the matrix is singular.
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant of A (0.0 when flagged singular).
+  double determinant() const noexcept { return det_; }
+
+  /// Inverse of A. \throws std::domain_error if singular.
+  Matrix inverse() const;
+
+private:
+  Matrix lu_;                    // packed L (unit diag, below) and U (above)
+  std::vector<std::size_t> piv_; // row permutation
+  bool singular_ = false;
+  double det_ = 0.0;
+};
+
+/// One-shot convenience: solve A x = b.
+Matrix solve(const Matrix& a, const Matrix& b);
+
+/// One-shot convenience: inverse of A.
+Matrix inverse(const Matrix& a);
+
+/// One-shot convenience: determinant of A.
+double determinant(const Matrix& a);
+
+/// Numerical rank via row-echelon elimination with the given relative
+/// tolerance (used by controllability tests).
+std::size_t rank(const Matrix& a, double rel_tol = 1e-10);
+
+}  // namespace catsched::linalg

@@ -1,0 +1,95 @@
+#include "opt/anneal.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace catsched::opt {
+
+namespace {
+
+/// Objective value used by the walk: infeasible points are strongly
+/// penalized but still ordered by their raw value, so the walk can traverse
+/// an infeasible ridge instead of being stuck at a hard wall.
+double walk_value(const EvalOutcome& out) {
+  return out.feasible ? out.value : out.value - 1.0;
+}
+
+}  // namespace
+
+AnnealResult anneal_search(EvalCache& cache, const CheapFeasible& cheap,
+                           const std::vector<int>& start,
+                           const AnnealOptions& opts) {
+  if (start.empty()) {
+    throw std::invalid_argument("anneal_search: empty start");
+  }
+  for (int v : start) {
+    if (v < opts.min_value || v > opts.max_value) {
+      throw std::invalid_argument("anneal_search: start out of bounds");
+    }
+  }
+  if (!cheap(start)) {
+    throw std::invalid_argument("anneal_search: start is cheap-infeasible");
+  }
+
+  std::mt19937 rng(opts.seed);
+  std::uniform_int_distribution<std::size_t> pick_dim(0, start.size() - 1);
+  std::bernoulli_distribution pick_up(0.5);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  AnnealResult res;
+  const int before = cache.unique_evaluations();
+
+  std::vector<int> current = start;
+  EvalOutcome current_out = cache.evaluate(current);
+  if (current_out.feasible) {
+    res.best = current;
+    res.best_value = current_out.value;
+    res.found_feasible = true;
+  }
+
+  double temperature = opts.initial_temperature;
+  for (int it = 0; it < opts.iterations; ++it) {
+    // Propose a cheap-feasible +-1 neighbor.
+    std::vector<int> proposal;
+    for (int attempt = 0; attempt < opts.max_proposal_tries; ++attempt) {
+      std::vector<int> candidate = current;
+      const std::size_t d = pick_dim(rng);
+      candidate[d] += pick_up(rng) ? 1 : -1;
+      if (candidate[d] < opts.min_value || candidate[d] > opts.max_value) {
+        continue;
+      }
+      if (!cheap(candidate)) continue;
+      proposal = std::move(candidate);
+      break;
+    }
+    if (proposal.empty()) {
+      temperature *= opts.cooling;
+      continue;  // boxed in this iteration; cool and retry
+    }
+
+    const EvalOutcome prop_out = cache.evaluate(proposal);
+    const double delta = walk_value(prop_out) - walk_value(current_out);
+    bool accept = delta >= 0.0;
+    if (!accept && temperature > 0.0) {
+      accept = unit(rng) < std::exp(delta / temperature);
+      if (accept) ++res.uphill_accepts;
+    }
+    if (accept) {
+      current = std::move(proposal);
+      current_out = prop_out;
+      ++res.accepted_moves;
+      if (current_out.feasible &&
+          (!res.found_feasible || current_out.value > res.best_value)) {
+        res.best = current;
+        res.best_value = current_out.value;
+        res.found_feasible = true;
+      }
+    }
+    temperature *= opts.cooling;
+  }
+  res.evaluations = cache.unique_evaluations() - before;
+  return res;
+}
+
+}  // namespace catsched::opt

@@ -1,0 +1,46 @@
+#pragma once
+/// \file anneal.hpp
+/// \brief Full simulated annealing over the discrete schedule space. The
+///        paper's hybrid algorithm (Sec. IV) borrows SA's tolerance for
+///        worsening moves; this is the genuine article it borrows from,
+///        used as a baseline in the optimizer-comparison bench.
+
+#include <cstdint>
+
+#include "opt/discrete_search.hpp"
+
+namespace catsched::opt {
+
+/// Annealing schedule and move knobs.
+struct AnnealOptions {
+  double initial_temperature = 0.05;  ///< in objective units (Pall is ~0..1)
+  double cooling = 0.97;              ///< geometric factor per iteration
+  int iterations = 400;               ///< proposed moves
+  int min_value = 1;                  ///< per-dimension lower bound (mi >= 1)
+  int max_value = 64;                 ///< safety upper bound
+  std::uint32_t seed = 1;
+  int max_proposal_tries = 32;  ///< resamples to find a cheap-feasible move
+};
+
+/// Outcome of one annealing run.
+struct AnnealResult {
+  std::vector<int> best;
+  double best_value = 0.0;
+  bool found_feasible = false;
+  int evaluations = 0;     ///< unique evaluations this run added
+  int accepted_moves = 0;  ///< proposals accepted (incl. uphill)
+  int uphill_accepts = 0;  ///< accepted although worse (the SA signature)
+};
+
+/// Maximize the objective from \p start by simulated annealing: propose a
+/// +-1 move in a random dimension, accept improvements always and
+/// deteriorations with probability exp(delta / T), cool geometrically.
+/// Infeasible (eq. (3)) points are treated as value -1 so the walk can
+/// cross them but never ends on one.
+/// \throws std::invalid_argument if start is empty, out of bounds, or
+///         cheap-infeasible.
+AnnealResult anneal_search(EvalCache& cache, const CheapFeasible& cheap,
+                           const std::vector<int>& start,
+                           const AnnealOptions& opts);
+
+}  // namespace catsched::opt

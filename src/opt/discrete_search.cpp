@@ -1,0 +1,214 @@
+#include "opt/discrete_search.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace catsched::opt {
+
+const EvalOutcome& EvalCache::evaluate(const std::vector<int>& p) {
+  auto it = cache_.find(p);
+  if (it == cache_.end()) {
+    it = cache_.emplace(p, objective_(p)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+bool in_bounds(const std::vector<int>& p, const HybridOptions& opts) {
+  for (int v : p) {
+    if (v < opts.min_value || v > opts.max_value) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
+                           const std::vector<int>& start,
+                           const HybridOptions& opts) {
+  if (start.empty()) {
+    throw std::invalid_argument("hybrid_search: empty start");
+  }
+  if (!in_bounds(start, opts) || !cheap(start)) {
+    throw std::invalid_argument("hybrid_search: start point infeasible");
+  }
+  const std::size_t n = start.size();
+  const int evals_before = cache.unique_evaluations();
+
+  HybridResult res;
+  std::vector<int> cur = start;
+  EvalOutcome cur_out = cache.evaluate(cur);
+  res.path.push_back(cur);
+  std::set<std::vector<int>> visited{cur};
+
+  auto consider_best = [&](const std::vector<int>& p, const EvalOutcome& o) {
+    if (o.feasible && (!res.found_feasible || o.value > res.best_value)) {
+      res.found_feasible = true;
+      res.best_value = o.value;
+      res.best = p;
+    }
+  };
+  consider_best(cur, cur_out);
+
+  for (int step = 0; step < opts.max_steps; ++step) {
+    // Build the per-dimension 1-D quadratic models: evaluate both discrete
+    // neighbors where feasible; the model's gradient at the current point
+    // is the central (or one-sided) difference.
+    struct Move {
+      std::size_t dim;
+      int dir;
+      double gradient;  // predicted improvement per unit step
+    };
+    std::vector<Move> moves;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::optional<double> f_minus;
+      std::optional<double> f_plus;
+      std::vector<int> pm = cur;
+      pm[i] -= 1;
+      if (in_bounds(pm, opts) && cheap(pm)) {
+        f_minus = cache.evaluate(pm).value;
+        consider_best(pm, cache.evaluate(pm));
+      }
+      std::vector<int> pp = cur;
+      pp[i] += 1;
+      if (in_bounds(pp, opts) && cheap(pp)) {
+        f_plus = cache.evaluate(pp).value;
+        consider_best(pp, cache.evaluate(pp));
+      }
+      double grad;
+      if (f_minus && f_plus) {
+        grad = (*f_plus - *f_minus) / 2.0;
+      } else if (f_plus) {
+        grad = *f_plus - cur_out.value;
+      } else if (f_minus) {
+        grad = cur_out.value - *f_minus;
+      } else {
+        continue;
+      }
+      // Propose every existing neighbor, scored by the model's predicted
+      // gain along that direction; negative-gain moves stay in the list so
+      // the tolerance (the simulated-annealing feature) can take them when
+      // nothing better exists.
+      if (f_plus) moves.push_back(Move{i, +1, grad});
+      if (f_minus) moves.push_back(Move{i, -1, -grad});
+    }
+    std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+      return a.gradient > b.gradient;
+    });
+
+    // Take the best-gradient direction whose target is feasible, unvisited
+    // and not worse than the tolerance allows (Sec. IV: feasibility first,
+    // then second-best direction and so on).
+    bool moved = false;
+    for (const Move& mv : moves) {
+      std::vector<int> next = cur;
+      next[static_cast<std::size_t>(mv.dim)] += mv.dir;
+      if (visited.count(next)) continue;
+      const EvalOutcome& out = cache.evaluate(next);
+      consider_best(next, out);
+      if (!out.feasible) continue;  // eq. (3) violated: try next direction
+      if (out.value + opts.tolerance < cur_out.value) continue;
+      cur = next;
+      cur_out = out;
+      visited.insert(cur);
+      res.path.push_back(cur);
+      ++res.steps;
+      moved = true;
+      break;
+    }
+    if (!moved) break;
+  }
+
+  res.evaluations = cache.unique_evaluations() - evals_before;
+  return res;
+}
+
+MultiStartResult hybrid_search_multistart(
+    const DiscreteObjective& objective, const CheapFeasible& cheap,
+    const std::vector<std::vector<int>>& starts, const HybridOptions& opts) {
+  EvalCache cache(objective);
+  MultiStartResult res;
+  for (const auto& s : starts) {
+    HybridResult r = hybrid_search(cache, cheap, s, opts);
+    if (r.found_feasible &&
+        (!res.combined.found_feasible ||
+         r.best_value > res.combined.best_value)) {
+      res.combined = r;
+    }
+    res.runs.push_back(std::move(r));
+  }
+  res.total_unique_evaluations = cache.unique_evaluations();
+  return res;
+}
+
+namespace {
+
+void scan_rec(const CheapFeasible& cheap, int lo, int hi,
+              std::vector<int>& p, std::size_t dim, bool& hit_boundary,
+              std::vector<std::vector<int>>& out) {
+  if (dim == p.size()) {
+    if (cheap(p)) {
+      out.push_back(p);
+      for (int v : p) {
+        if (v == hi) hit_boundary = true;
+      }
+    }
+    return;
+  }
+  for (int v = lo; v <= hi; ++v) {
+    p[dim] = v;
+    scan_rec(cheap, lo, hi, p, dim + 1, hit_boundary, out);
+  }
+  p[dim] = lo;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> enumerate_feasible(const CheapFeasible& cheap,
+                                                 std::size_t dims,
+                                                 const HybridOptions& opts) {
+  if (dims == 0) {
+    throw std::invalid_argument("enumerate_feasible: dims == 0");
+  }
+  // The cache-aware feasible region is NOT downward-closed: raising m_i
+  // from 1 to 2 swaps app i's idle-gap task from the cold to the warm WCET
+  // and can make an infeasible point feasible (e.g. (2,6,1) infeasible but
+  // (2,6,2) feasible in the DATE'18 case study). We therefore scan a
+  // rectangle exactly, growing its side until no feasible point touches the
+  // boundary (monotonicity *does* hold far from 1: for m_i >= 2 the app's
+  // own h_max is constant in m_i while everyone else's grows).
+  int hi = std::min(opts.max_value, std::max(opts.min_value + 7, 8));
+  while (true) {
+    std::vector<int> p(dims, opts.min_value);
+    std::vector<std::vector<int>> out;
+    bool hit_boundary = false;
+    scan_rec(cheap, opts.min_value, hi, p, 0, hit_boundary, out);
+    if (!hit_boundary || hi >= opts.max_value) return out;
+    hi = std::min(opts.max_value, hi * 2);
+  }
+}
+
+ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
+                                   const CheapFeasible& cheap,
+                                   std::size_t dims,
+                                   const HybridOptions& opts) {
+  ExhaustiveResult res;
+  for (const auto& p : enumerate_feasible(cheap, dims, opts)) {
+    EvalOutcome out = objective(p);
+    ++res.enumerated;
+    if (out.feasible) {
+      ++res.control_feasible;
+      if (!res.found_feasible || out.value > res.best_value) {
+        res.found_feasible = true;
+        res.best_value = out.value;
+        res.best = p;
+      }
+    }
+    res.all.emplace_back(p, out);
+  }
+  return res;
+}
+
+}  // namespace catsched::opt

@@ -1,0 +1,115 @@
+#pragma once
+/// \file discrete_search.hpp
+/// \brief Schedule-space search (paper Sec. IV): the hybrid algorithm
+///        (per-dimension 1-D quadratic models -> discrete gradient, step
+///        size 1, simulated-annealing-style tolerance, multi-start with a
+///        shared memo) and the exhaustive baseline over the idle-feasible
+///        region.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace catsched::opt {
+
+/// Outcome of one (expensive) objective evaluation at an integer point.
+struct EvalOutcome {
+  double value = 0.0;    ///< overall control performance Pall (maximized)
+  bool feasible = false; ///< control feasibility, paper eq. (3): all Pi >= 0
+};
+
+/// Expensive objective over integer decision vectors (m1..mn), maximized.
+using DiscreteObjective = std::function<EvalOutcome(const std::vector<int>&)>;
+
+/// Cheap pre-filter known before any control evaluation (paper eq. (4),
+/// the idle-time constraint). Must be monotone: if p is feasible, so is
+/// every q <= p componentwise (true for cache-aware timing, where every
+/// sampling period grows with every mi).
+using CheapFeasible = std::function<bool(const std::vector<int>&)>;
+
+/// Memoized evaluation cache shared between searches so that the
+/// "evaluated schedules" count matches the paper's accounting (a schedule
+/// costs only once, even across parallel searches).
+class EvalCache {
+public:
+  explicit EvalCache(DiscreteObjective objective)
+      : objective_(std::move(objective)) {}
+
+  /// Evaluate through the cache.
+  const EvalOutcome& evaluate(const std::vector<int>& p);
+
+  /// Distinct points evaluated so far.
+  int unique_evaluations() const noexcept {
+    return static_cast<int>(cache_.size());
+  }
+
+private:
+  DiscreteObjective objective_;
+  std::map<std::vector<int>, EvalOutcome> cache_;
+};
+
+/// Hybrid search tuning.
+struct HybridOptions {
+  /// Accept a move that worsens the objective by at most this amount
+  /// (the simulated-annealing feature of Sec. IV; 0 = plain hill climb).
+  double tolerance = 0.0;
+  int max_steps = 200;     ///< safety cap on accepted moves
+  int min_value = 1;       ///< lower bound per dimension (mi in N+)
+  int max_value = 64;      ///< safety upper bound per dimension
+};
+
+/// Result of one hybrid search run (or of a multi-start combination).
+struct HybridResult {
+  std::vector<int> best;       ///< best feasible point found
+  double best_value = 0.0;
+  bool found_feasible = false;
+  int steps = 0;                       ///< accepted moves
+  int evaluations = 0;                 ///< unique evaluations *this run added*
+  std::vector<std::vector<int>> path;  ///< accepted points, start first
+};
+
+/// One hybrid search from \p start. Evaluations go through \p cache; the
+/// run's `evaluations` field reports how many *new* points it cost.
+/// \throws std::invalid_argument if start is empty, out of bounds, or
+///         cheap-infeasible.
+HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
+                           const std::vector<int>& start,
+                           const HybridOptions& opts);
+
+/// Multi-start driver: runs hybrid_search from every start against one
+/// shared cache and combines the best feasible outcome.
+struct MultiStartResult {
+  HybridResult combined;
+  std::vector<HybridResult> runs;
+  int total_unique_evaluations = 0;
+};
+MultiStartResult hybrid_search_multistart(
+    const DiscreteObjective& objective, const CheapFeasible& cheap,
+    const std::vector<std::vector<int>>& starts, const HybridOptions& opts);
+
+/// Exhaustive enumeration of the cheap-feasible (downward-closed) region.
+struct ExhaustiveResult {
+  std::vector<int> best;
+  double best_value = 0.0;
+  bool found_feasible = false;
+  int enumerated = 0;        ///< points evaluated (the paper's "76 schedules")
+  int control_feasible = 0;  ///< of those, how many satisfied eq. (3)
+  std::vector<std::pair<std::vector<int>, EvalOutcome>> all;  ///< full table
+};
+
+/// Enumerate and evaluate every cheap-feasible point with dimensions
+/// \p dims, each value in [min_value, max_value].
+/// \throws std::invalid_argument if dims == 0.
+ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
+                                   const CheapFeasible& cheap,
+                                   std::size_t dims,
+                                   const HybridOptions& opts);
+
+/// Just the cheap-feasible region (no expensive evaluations), e.g. to count
+/// candidate schedules.
+std::vector<std::vector<int>> enumerate_feasible(const CheapFeasible& cheap,
+                                                 std::size_t dims,
+                                                 const HybridOptions& opts);
+
+}  // namespace catsched::opt

@@ -1,0 +1,147 @@
+#include "opt/genetic.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace catsched::opt {
+
+namespace {
+
+struct Individual {
+  std::vector<int> genes;
+  double fitness = 0.0;
+  bool feasible = false;
+};
+
+double fitness_of(const EvalOutcome& out) {
+  // Infeasible individuals are ranked below every feasible one but still
+  // ordered among themselves, keeping selection pressure alive early on.
+  return out.feasible ? out.value : out.value - 1.0;
+}
+
+}  // namespace
+
+GaResult genetic_search(EvalCache& cache, const CheapFeasible& cheap,
+                        std::size_t dims, const GaOptions& opts) {
+  if (dims == 0) {
+    throw std::invalid_argument("genetic_search: dims must be positive");
+  }
+  if (opts.population < 2) {
+    throw std::invalid_argument("genetic_search: population must be >= 2");
+  }
+
+  std::mt19937 rng(opts.seed);
+  std::uniform_int_distribution<int> gene(opts.min_value, opts.max_value);
+  std::uniform_int_distribution<std::size_t> pick_dim(0, dims - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::bernoulli_distribution coin(0.5);
+
+  const int before = cache.unique_evaluations();
+  GaResult res;
+
+  auto evaluate = [&](Individual& ind) {
+    const EvalOutcome out = cache.evaluate(ind.genes);
+    ind.fitness = fitness_of(out);
+    ind.feasible = out.feasible;
+    if (out.feasible &&
+        (!res.found_feasible || out.value > res.best_value)) {
+      res.best = ind.genes;
+      res.best_value = out.value;
+      res.found_feasible = true;
+    }
+  };
+
+  // Initial population: uniform cheap-feasible draws. Low mi values are far
+  // more likely to be idle-feasible, so bias half the draws toward the
+  // bottom of the box.
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(opts.population));
+  std::uniform_int_distribution<int> low_gene(
+      opts.min_value, std::min(opts.min_value + 3, opts.max_value));
+  int draws = 0;
+  while (pop.size() < static_cast<std::size_t>(opts.population)) {
+    if (++draws > 1000 * opts.population) {
+      throw std::runtime_error(
+          "genetic_search: could not draw a cheap-feasible population");
+    }
+    Individual ind;
+    ind.genes.resize(dims);
+    const bool low = coin(rng);
+    for (auto& g : ind.genes) g = low ? low_gene(rng) : gene(rng);
+    if (!cheap(ind.genes)) continue;
+    evaluate(ind);
+    pop.push_back(std::move(ind));
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    std::uniform_int_distribution<std::size_t> pick(0, pop.size() - 1);
+    const Individual* best = &pop[pick(rng)];
+    for (int i = 1; i < opts.tournament; ++i) {
+      const Individual& challenger = pop[pick(rng)];
+      if (challenger.fitness > best->fitness) best = &challenger;
+    }
+    return *best;
+  };
+
+  for (int gen = 0; gen < opts.generations; ++gen) {
+    res.generations_run = gen + 1;
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+
+    // Elitism: carry the current best individuals unchanged.
+    std::vector<std::size_t> order(pop.size());
+    for (std::size_t i = 0; i < pop.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].fitness > pop[b].fitness;
+    });
+    for (int e = 0; e < opts.elites &&
+                    e < static_cast<int>(pop.size());
+         ++e) {
+      next.push_back(pop[order[static_cast<std::size_t>(e)]]);
+    }
+
+    while (next.size() < pop.size()) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      Individual child;
+      child.genes.resize(dims);
+      // Uniform crossover (or clone of the fitter parent).
+      if (unit(rng) < opts.crossover_rate) {
+        for (std::size_t d = 0; d < dims; ++d) {
+          child.genes[d] = coin(rng) ? pa.genes[d] : pb.genes[d];
+        }
+      } else {
+        child.genes = (pa.fitness >= pb.fitness ? pa : pb).genes;
+      }
+      // Mutation with repair: retry until cheap-feasible.
+      bool ok = false;
+      for (int attempt = 0; attempt < opts.max_repair_tries; ++attempt) {
+        Individual mutant = child;
+        for (std::size_t d = 0; d < dims; ++d) {
+          if (unit(rng) < opts.mutation_rate) {
+            mutant.genes[d] += coin(rng) ? 1 : -1;
+            mutant.genes[d] = std::clamp(mutant.genes[d], opts.min_value,
+                                         opts.max_value);
+          }
+        }
+        if (cheap(mutant.genes)) {
+          child = std::move(mutant);
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        child = pa;  // repair failed: fall back to a parent
+      } else {
+        evaluate(child);
+      }
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+  res.evaluations = cache.unique_evaluations() - before;
+  return res;
+}
+
+}  // namespace catsched::opt

@@ -1,0 +1,47 @@
+#pragma once
+/// \file genetic.hpp
+/// \brief Genetic-algorithm baseline over the discrete schedule space:
+///        integer chromosomes (m1..mn), tournament selection, uniform
+///        crossover, +-1 mutation, elitism. Another population-based
+///        comparison point for the paper's hybrid search (Sec. IV).
+
+#include <cstdint>
+
+#include "opt/discrete_search.hpp"
+
+namespace catsched::opt {
+
+/// GA knobs. Defaults are sized for the few-dimension schedule problems of
+/// the case study (n = 3 applications).
+struct GaOptions {
+  int population = 12;
+  int generations = 15;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.3;  ///< per-gene probability of a +-1 step
+  int tournament = 3;          ///< contestants per parent selection
+  int elites = 2;              ///< best individuals copied unchanged
+  int min_value = 1;
+  int max_value = 64;
+  std::uint32_t seed = 1;
+  int max_repair_tries = 32;  ///< resamples to make a child cheap-feasible
+};
+
+/// Outcome of a GA run.
+struct GaResult {
+  std::vector<int> best;
+  double best_value = 0.0;
+  bool found_feasible = false;
+  int evaluations = 0;  ///< unique evaluations this run added
+  int generations_run = 0;
+};
+
+/// Maximize the objective with a GA over dims-dimensional integer vectors.
+/// The initial population is drawn uniformly from the cheap-feasible box
+/// (resampling infeasible draws); children failing the cheap filter are
+/// repaired by re-mutation, or replaced by a parent when repair fails.
+/// \throws std::invalid_argument if dims == 0 or population < 2, or
+///         std::runtime_error if no cheap-feasible individual can be drawn.
+GaResult genetic_search(EvalCache& cache, const CheapFeasible& cheap,
+                        std::size_t dims, const GaOptions& opts);
+
+}  // namespace catsched::opt

@@ -1,0 +1,48 @@
+#pragma once
+/// \file pso.hpp
+/// \brief Deterministic particle swarm optimization (paper Sec. III uses
+///        PSO for pole placement [14]). Generic box-constrained minimizer;
+///        the control design wraps it with a settling-time objective.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace catsched::opt {
+
+/// PSO tuning knobs. Defaults follow the canonical constricted swarm
+/// (Clerc–Kennedy coefficients).
+struct PsoOptions {
+  int particles = 40;
+  int iterations = 80;
+  double inertia = 0.7298;
+  double cognitive = 1.49618;  ///< pull toward each particle's best
+  double social = 1.49618;     ///< pull toward the global best
+  std::uint64_t seed = 1;      ///< deterministic runs
+  double velocity_clamp = 0.5; ///< max |v| as a fraction of the box width
+  /// Stop early when the global best has not improved by more than
+  /// stall_tolerance for stall_iterations consecutive iterations (0 = off).
+  int stall_iterations = 25;
+  double stall_tolerance = 1e-9;
+};
+
+/// Result of one swarm run.
+struct PsoResult {
+  std::vector<double> x;    ///< best position found
+  double cost = 0.0;        ///< objective at x
+  int evaluations = 0;      ///< objective evaluations performed
+  int iterations_run = 0;
+};
+
+/// Objective: R^d -> R, minimized.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Minimize \p f over the box [lo, hi]^d. Seed positions (clamped to the
+/// box) are injected as the first particles; remaining particles are drawn
+/// uniformly. Fully deterministic for a fixed options.seed.
+/// \throws std::invalid_argument on empty/mismatched bounds or lo > hi.
+PsoResult pso_minimize(const Objective& f, const std::vector<double>& lo,
+                       const std::vector<double>& hi, const PsoOptions& opts,
+                       const std::vector<std::vector<double>>& seeds = {});
+
+}  // namespace catsched::opt

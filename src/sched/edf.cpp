@@ -1,0 +1,121 @@
+#include "sched/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace catsched::sched {
+
+std::vector<EdfJob> EdfSimResult::jobs_of(std::size_t task) const {
+  std::vector<EdfJob> out;
+  for (const auto& j : jobs) {
+    if (j.task == task) out.push_back(j);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EdfJob& a, const EdfJob& b) { return a.index < b.index; });
+  return out;
+}
+
+EdfSimResult::Range EdfSimResult::response_range(std::size_t task) const {
+  Range r{std::numeric_limits<double>::infinity(), 0.0};
+  for (const auto& j : jobs) {
+    if (j.task != task) continue;
+    r.min = std::min(r.min, j.response());
+    r.max = std::max(r.max, j.response());
+  }
+  return r;
+}
+
+EdfSimResult simulate_edf(const std::vector<EdfTask>& tasks, double horizon) {
+  if (tasks.empty() || horizon <= 0.0) {
+    throw std::invalid_argument("simulate_edf: need tasks and horizon > 0");
+  }
+  for (const auto& t : tasks) {
+    if (t.period <= 0.0 || t.wcet <= 0.0) {
+      throw std::invalid_argument(
+          "simulate_edf: periods and WCETs must be positive");
+    }
+  }
+
+  struct Active {
+    std::size_t task;
+    std::size_t index;
+    double release;
+    double deadline;
+    double remaining;
+  };
+
+  EdfSimResult res;
+  for (const auto& t : tasks) res.utilization += t.wcet / t.period;
+
+  std::vector<std::size_t> next_job(tasks.size(), 0);
+  std::vector<Active> ready;
+
+  const auto next_release = [&](std::size_t i) {
+    return static_cast<double>(next_job[i]) * tasks[i].period;
+  };
+
+  double now = 0.0;
+  while (true) {
+    // Release every job due at or before `now`... first find the earliest
+    // pending release still within the horizon.
+    double earliest = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (next_release(i) < horizon) {
+        earliest = std::min(earliest, next_release(i));
+      }
+    }
+    if (ready.empty()) {
+      if (std::isinf(earliest)) break;  // nothing pending: done
+      now = std::max(now, earliest);
+    }
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      while (next_release(i) < horizon && next_release(i) <= now) {
+        Active a;
+        a.task = i;
+        a.index = next_job[i];
+        a.release = next_release(i);
+        a.deadline = a.release + tasks[i].period;
+        a.remaining = tasks[i].wcet;
+        ready.push_back(a);
+        ++next_job[i];
+      }
+    }
+
+    // Pick the earliest-deadline ready job (ties by task index).
+    auto it = std::min_element(ready.begin(), ready.end(),
+                               [](const Active& a, const Active& b) {
+                                 if (a.deadline != b.deadline) {
+                                   return a.deadline < b.deadline;
+                                 }
+                                 return a.task < b.task;
+                               });
+    // Run it until it finishes or the next release (preemption point).
+    double run_until = now + it->remaining;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (next_release(i) < horizon) {
+        run_until = std::min(run_until, std::max(now, next_release(i)));
+      }
+    }
+    if (run_until <= now) run_until = now + it->remaining;  // no releases left
+    const double slice = run_until - now;
+    it->remaining -= slice;
+    now = run_until;
+    if (it->remaining <= 1e-15) {
+      EdfJob done;
+      done.task = it->task;
+      done.index = it->index;
+      done.release = it->release;
+      done.finish = now;
+      done.deadline = it->deadline;
+      done.missed = now > it->deadline + 1e-12;
+      res.any_miss = res.any_miss || done.missed;
+      res.jobs.push_back(done);
+      ready.erase(it);
+    }
+  }
+  return res;
+}
+
+}  // namespace catsched::sched

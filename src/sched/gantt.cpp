@@ -1,0 +1,70 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace catsched::sched {
+
+std::string render_gantt(const std::vector<ScheduledTask>& timeline,
+                         std::size_t num_apps, const GanttOptions& opts) {
+  if (timeline.empty()) {
+    throw std::invalid_argument("render_gantt: empty timeline");
+  }
+  if (num_apps == 0 || num_apps > 26) {
+    throw std::invalid_argument("render_gantt: need 1..26 applications");
+  }
+  const double t_end = timeline.back().end;
+  const double scale = static_cast<double>(opts.width) / t_end;
+
+  std::vector<std::string> rows(num_apps,
+                                std::string(opts.width, ' '));
+  for (const auto& task : timeline) {
+    if (task.app >= num_apps) {
+      throw std::invalid_argument("render_gantt: app index out of range");
+    }
+    const auto c0 = static_cast<std::size_t>(task.start * scale);
+    auto c1 = static_cast<std::size_t>(std::ceil(task.end * scale));
+    c1 = std::min(c1, opts.width);
+    const char base = static_cast<char>('A' + static_cast<char>(task.app));
+    const char ch = (opts.mark_warm && task.warm)
+                        ? static_cast<char>(base - 'A' + 'a')
+                        : base;
+    for (std::size_t c = c0; c < std::max(c1, c0 + 1) && c < opts.width;
+         ++c) {
+      rows[task.app][c] = ch;
+    }
+  }
+
+  std::string out;
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    out += static_cast<char>('A' + static_cast<char>(a));
+    out += "  [" + rows[a] + "]\n";
+  }
+  // Time axis: origin at the left bracket, end time at the right.
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.0f %s", t_end * opts.unit_scale,
+                opts.time_unit.c_str());
+  std::string axis = "t   0";
+  const std::size_t pad =
+      opts.width + 4 > axis.size() + std::string(buf).size()
+          ? opts.width + 4 - axis.size() - std::string(buf).size()
+          : 1;
+  axis += std::string(pad, ' ');
+  axis += buf;
+  out += axis + "\n";
+  if (opts.show_legend) {
+    out += "   (uppercase = cold cache, lowercase = warm/reused)\n";
+  }
+  return out;
+}
+
+std::string render_gantt(const std::vector<AppWcet>& wcets,
+                         const InterleavedSchedule& schedule,
+                         std::size_t periods, const GanttOptions& opts) {
+  return render_gantt(build_timeline(wcets, schedule, periods),
+                      schedule.num_apps(), opts);
+}
+
+}  // namespace catsched::sched

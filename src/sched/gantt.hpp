@@ -1,0 +1,40 @@
+#pragma once
+/// \file gantt.hpp
+/// \brief ASCII Gantt rendering of schedule timelines -- the textual
+///        equivalent of the paper's Fig. 2/Fig. 4 strips, for examples,
+///        benches and debugging. Pure formatting; no scheduling logic.
+
+#include <string>
+#include <vector>
+
+#include "sched/timing.hpp"
+
+namespace catsched::sched {
+
+/// Rendering knobs.
+struct GanttOptions {
+  std::size_t width = 72;      ///< characters for the time axis
+  bool show_legend = true;     ///< append the per-app legend line
+  bool mark_warm = true;       ///< lowercase letters for warm tasks
+  std::string time_unit = "us";  ///< label only; values scaled by unit_scale
+  double unit_scale = 1e6;     ///< seconds -> displayed unit
+};
+
+/// Render a task timeline (as produced by build_timeline) into an ASCII
+/// strip: one row per application plus a time axis. Cold tasks print as
+/// 'A','B',... and warm tasks as 'a','b',... proportionally to duration.
+///
+///   A  [AAAAAaaaa         AAAAA...]
+///   B  [        BBBB bbb        ...]
+///   t  0        500      1000   us
+///
+/// \throws std::invalid_argument if the timeline is empty or apps exceed 26.
+std::string render_gantt(const std::vector<ScheduledTask>& timeline,
+                         std::size_t num_apps, const GanttOptions& opts = {});
+
+/// Convenience: expand `periods` periods of a schedule and render.
+std::string render_gantt(const std::vector<AppWcet>& wcets,
+                         const InterleavedSchedule& schedule,
+                         std::size_t periods, const GanttOptions& opts = {});
+
+}  // namespace catsched::sched

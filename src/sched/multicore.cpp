@@ -1,0 +1,119 @@
+#include "sched/multicore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace catsched::sched {
+
+namespace {
+
+/// Renumber core ids by first appearance (restricted growth form), so that
+/// permuted-core assignments compare equal.
+std::vector<std::size_t> canonicalize(std::vector<std::size_t> core_of) {
+  std::vector<std::size_t> relabel;
+  for (auto& c : core_of) {
+    const auto it = std::find(relabel.begin(), relabel.end(), c);
+    if (it == relabel.end()) {
+      relabel.push_back(c);
+      c = relabel.size() - 1;
+    } else {
+      c = static_cast<std::size_t>(it - relabel.begin());
+    }
+  }
+  return core_of;
+}
+
+}  // namespace
+
+CoreAssignment::CoreAssignment(std::vector<std::size_t> core_of) {
+  if (core_of.empty()) {
+    throw std::invalid_argument("CoreAssignment: no applications");
+  }
+  core_of_ = canonicalize(std::move(core_of));
+  num_cores_ = 1 + *std::max_element(core_of_.begin(), core_of_.end());
+}
+
+CoreAssignment CoreAssignment::single_core(std::size_t num_apps) {
+  return CoreAssignment(std::vector<std::size_t>(num_apps, 0));
+}
+
+std::vector<std::vector<std::size_t>> CoreAssignment::apps_per_core() const {
+  std::vector<std::vector<std::size_t>> out(num_cores_);
+  for (std::size_t app = 0; app < core_of_.size(); ++app) {
+    out[core_of_[app]].push_back(app);
+  }
+  return out;
+}
+
+std::string CoreAssignment::to_string() const {
+  std::string s = "{";
+  const auto groups = apps_per_core();
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    if (c > 0) s += " | ";
+    for (std::size_t i = 0; i < groups[c].size(); ++i) {
+      if (i > 0) s += ",";
+      s += "C" + std::to_string(groups[c][i] + 1);
+    }
+  }
+  s += "}";
+  return s;
+}
+
+std::vector<CoreAssignment> enumerate_assignments(std::size_t num_apps,
+                                                  std::size_t max_cores) {
+  if (num_apps == 0 || max_cores == 0) {
+    throw std::invalid_argument(
+        "enumerate_assignments: need at least one app and one core");
+  }
+  // Restricted growth strings: a[0] = 0, a[i] <= 1 + max(a[0..i-1]),
+  // capped at max_cores - 1.
+  std::vector<CoreAssignment> out;
+  std::vector<std::size_t> a(num_apps, 0);
+  const auto max_prefix = [&](std::size_t upto) {
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < upto; ++i) m = std::max(m, a[i]);
+    return m;
+  };
+  while (true) {
+    out.emplace_back(a);
+    // Increment as a restricted growth string, rightmost position first.
+    std::size_t i = num_apps;
+    while (i-- > 1) {
+      const std::size_t limit = std::min(max_prefix(i) + 1, max_cores - 1);
+      if (a[i] < limit) {
+        ++a[i];
+        std::fill(a.begin() + static_cast<std::ptrdiff_t>(i) + 1, a.end(),
+                  0);
+        break;
+      }
+      if (i == 1) return out;  // exhausted (a[0] is pinned to 0)
+    }
+    if (num_apps == 1) return out;
+  }
+}
+
+void MulticoreSchedule::validate() const {
+  const auto groups = assignment.apps_per_core();
+  if (per_core.size() != groups.size()) {
+    throw std::invalid_argument(
+        "MulticoreSchedule: schedule count != core count");
+  }
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    if (per_core[c].num_apps() != groups[c].size()) {
+      throw std::invalid_argument(
+          "MulticoreSchedule: schedule dimension mismatch on core " +
+          std::to_string(c));
+    }
+  }
+}
+
+std::string MulticoreSchedule::to_string() const {
+  std::string s = assignment.to_string() + " ";
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    if (c > 0) s += " ";
+    s += per_core[c].to_string();
+  }
+  return s;
+}
+
+}  // namespace catsched::sched

@@ -1,0 +1,78 @@
+#pragma once
+/// \file multicore.hpp
+/// \brief Multi-core extension (paper Sec. VI: "can be naturally extended
+///        to a multi-core architecture, where each core has its own
+///        cache"): partitions of applications onto cores, enumeration of
+///        all set partitions up to a core budget, and per-core schedule
+///        containers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace catsched::sched {
+
+/// A partition of n applications onto homogeneous cores with private
+/// caches. Cores are unlabeled (assignments differing only by a core
+/// permutation are the same partition); the canonical form numbers cores
+/// by first appearance.
+class CoreAssignment {
+public:
+  CoreAssignment() = default;
+
+  /// \p core_of maps application index -> core index. Canonicalized on
+  /// construction. \throws std::invalid_argument if empty or core indices
+  /// skip values after canonicalization fails (cannot happen via public
+  /// constructors).
+  explicit CoreAssignment(std::vector<std::size_t> core_of);
+
+  /// All applications on one core (the single-core baseline).
+  static CoreAssignment single_core(std::size_t num_apps);
+
+  std::size_t num_apps() const noexcept { return core_of_.size(); }
+  std::size_t num_cores() const noexcept { return num_cores_; }
+  std::size_t core_of(std::size_t app) const { return core_of_.at(app); }
+  const std::vector<std::size_t>& mapping() const noexcept {
+    return core_of_;
+  }
+
+  /// Applications grouped per core, ascending app indices.
+  std::vector<std::vector<std::size_t>> apps_per_core() const;
+
+  /// "{C1,C3 | C2}" style label for tables.
+  std::string to_string() const;
+
+  bool operator==(const CoreAssignment&) const = default;
+  bool operator<(const CoreAssignment& rhs) const {
+    return core_of_ < rhs.core_of_;
+  }
+
+private:
+  std::vector<std::size_t> core_of_;
+  std::size_t num_cores_ = 0;
+};
+
+/// Every set partition of \p num_apps applications into at most
+/// \p max_cores non-empty cores, in canonical order (restricted growth
+/// strings). The count is a partial Bell number: cheap for the paper-scale
+/// n <= 6. \throws std::invalid_argument if num_apps == 0 or max_cores == 0.
+std::vector<CoreAssignment> enumerate_assignments(std::size_t num_apps,
+                                                  std::size_t max_cores);
+
+/// A complete multi-core schedule: the partition plus one periodic
+/// schedule per core (indexed by core; schedule dimension = apps on that
+/// core, in ascending app order).
+struct MulticoreSchedule {
+  CoreAssignment assignment;
+  std::vector<PeriodicSchedule> per_core;
+
+  /// \throws std::invalid_argument if per-core schedule dimensions do not
+  ///         match the assignment.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace catsched::sched

@@ -1,0 +1,124 @@
+#include "sched/schedule.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace catsched::sched {
+
+PeriodicSchedule::PeriodicSchedule(std::vector<int> m) : m_(std::move(m)) {
+  if (m_.empty()) {
+    throw std::invalid_argument("PeriodicSchedule: no applications");
+  }
+  for (int v : m_) {
+    if (v < 1) {
+      throw std::invalid_argument("PeriodicSchedule: every mi must be >= 1");
+    }
+  }
+}
+
+std::size_t PeriodicSchedule::tasks_per_period() const noexcept {
+  std::size_t n = 0;
+  for (int v : m_) n += static_cast<std::size_t>(v);
+  return n;
+}
+
+PeriodicSchedule PeriodicSchedule::with_burst(std::size_t app,
+                                              int value) const {
+  if (app >= m_.size()) {
+    throw std::invalid_argument("with_burst: app out of range");
+  }
+  std::vector<int> m = m_;
+  m[app] = value;
+  return PeriodicSchedule(std::move(m));  // re-validates value >= 1
+}
+
+std::string PeriodicSchedule::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    os << (i ? ", " : "") << m_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<std::size_t> PeriodicSchedule::task_sequence() const {
+  std::vector<std::size_t> seq;
+  seq.reserve(tasks_per_period());
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    for (int j = 0; j < m_[i]; ++j) seq.push_back(i);
+  }
+  return seq;
+}
+
+InterleavedSchedule::InterleavedSchedule(std::vector<Segment> segments,
+                                         std::size_t num_apps)
+    : segments_(std::move(segments)), num_apps_(num_apps) {
+  if (segments_.empty() || num_apps_ == 0) {
+    throw std::invalid_argument("InterleavedSchedule: empty schedule");
+  }
+  for (const Segment& s : segments_) {
+    if (s.count < 1) {
+      throw std::invalid_argument("InterleavedSchedule: segment count < 1");
+    }
+    if (s.app >= num_apps_) {
+      throw std::invalid_argument("InterleavedSchedule: app out of range");
+    }
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const std::size_t next = (i + 1) % segments_.size();
+    if (segments_.size() > 1 && segments_[i].app == segments_[next].app) {
+      throw std::invalid_argument(
+          "InterleavedSchedule: adjacent segments of the same app must be "
+          "merged");
+    }
+  }
+  std::vector<bool> used(num_apps_, false);
+  for (const Segment& s : segments_) used[s.app] = true;
+  for (std::size_t a = 0; a < num_apps_; ++a) {
+    if (!used[a]) {
+      throw std::invalid_argument(
+          "InterleavedSchedule: every app must appear at least once");
+    }
+  }
+}
+
+InterleavedSchedule InterleavedSchedule::from_periodic(
+    const PeriodicSchedule& p) {
+  std::vector<Segment> segs;
+  segs.reserve(p.num_apps());
+  for (std::size_t i = 0; i < p.num_apps(); ++i) {
+    segs.push_back(Segment{i, p.burst(i)});
+  }
+  return InterleavedSchedule(std::move(segs), p.num_apps());
+}
+
+std::vector<std::size_t> InterleavedSchedule::task_sequence() const {
+  std::vector<std::size_t> seq;
+  for (const Segment& s : segments_) {
+    for (int j = 0; j < s.count; ++j) seq.push_back(s.app);
+  }
+  return seq;
+}
+
+int InterleavedSchedule::tasks_of(std::size_t app) const {
+  int n = 0;
+  for (const Segment& s : segments_) {
+    if (s.app == app) n += s.count;
+  }
+  return n;
+}
+
+std::string InterleavedSchedule::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    os << (i ? ", " : "") << "C" << segments_[i].app + 1 << "x"
+       << segments_[i].count;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace catsched::sched

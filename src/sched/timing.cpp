@@ -1,0 +1,150 @@
+#include "sched/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace catsched::sched {
+
+namespace {
+
+void validate_wcets(const std::vector<AppWcet>& wcets, std::size_t num_apps) {
+  if (wcets.size() != num_apps) {
+    throw std::invalid_argument("derive_timing: wcets/app count mismatch");
+  }
+  for (const AppWcet& w : wcets) {
+    if (w.cold_seconds <= 0.0 || w.warm_seconds <= 0.0 ||
+        w.warm_seconds > w.cold_seconds) {
+      throw std::invalid_argument(
+          "derive_timing: need 0 < warm <= cold for every app");
+    }
+  }
+}
+
+}  // namespace
+
+double AppTiming::h_max() const {
+  double best = 0.0;
+  for (const Interval& iv : intervals) best = std::max(best, iv.h);
+  return best;
+}
+
+std::size_t AppTiming::longest_interval() const {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < intervals.size(); ++j) {
+    if (intervals[j].h > intervals[best].h) best = j;
+  }
+  return best;
+}
+
+double AppTiming::period() const {
+  double p = 0.0;
+  for (const Interval& iv : intervals) p += iv.h;
+  return p;
+}
+
+double AppTiming::idle_total() const {
+  double busy = 0.0;
+  for (const Interval& iv : intervals) busy += iv.tau;
+  return period() - busy;
+}
+
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const PeriodicSchedule& schedule) {
+  return derive_timing(wcets, InterleavedSchedule::from_periodic(schedule));
+}
+
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const InterleavedSchedule& schedule) {
+  validate_wcets(wcets, schedule.num_apps());
+  const std::vector<std::size_t> seq = schedule.task_sequence();
+  const std::size_t t_count = seq.size();
+
+  // Steady-state cache state classification: a task is warm iff the
+  // cyclically-previous task is the same application. (With one app and one
+  // segment, every task is warm in steady state.)
+  std::vector<bool> warm(t_count);
+  std::vector<double> exec(t_count);
+  for (std::size_t k = 0; k < t_count; ++k) {
+    const std::size_t prev = (k + t_count - 1) % t_count;
+    warm[k] = (seq[prev] == seq[k]);
+    exec[k] = warm[k] ? wcets[seq[k]].warm_seconds : wcets[seq[k]].cold_seconds;
+  }
+
+  // Start time of each task within the period (tasks run back-to-back).
+  std::vector<double> start(t_count, 0.0);
+  double period = 0.0;
+  for (std::size_t k = 0; k < t_count; ++k) {
+    start[k] = period;
+    period += exec[k];
+  }
+
+  ScheduleTiming out;
+  out.period = period;
+  out.apps.resize(schedule.num_apps());
+  // Collect each app's task indices in order; sampling period = distance to
+  // the app's next task start (cyclic).
+  for (std::size_t app = 0; app < schedule.num_apps(); ++app) {
+    std::vector<std::size_t> own;
+    for (std::size_t k = 0; k < t_count; ++k) {
+      if (seq[k] == app) own.push_back(k);
+    }
+    AppTiming& at = out.apps[app];
+    at.intervals.reserve(own.size());
+    for (std::size_t j = 0; j < own.size(); ++j) {
+      const std::size_t k = own[j];
+      Interval iv;
+      iv.tau = exec[k];
+      iv.warm = warm[k];
+      if (j + 1 < own.size()) {
+        iv.h = start[own[j + 1]] - start[k];
+      } else {
+        iv.h = period - start[k] + start[own[0]];
+      }
+      at.intervals.push_back(iv);
+    }
+  }
+  return out;
+}
+
+bool idle_feasible(const ScheduleTiming& timing,
+                   const std::vector<double>& tidle) {
+  if (tidle.size() != timing.apps.size()) {
+    throw std::invalid_argument("idle_feasible: tidle size mismatch");
+  }
+  for (std::size_t i = 0; i < timing.apps.size(); ++i) {
+    if (timing.apps[i].h_max() > tidle[i]) return false;
+  }
+  return true;
+}
+
+std::vector<ScheduledTask> build_timeline(const std::vector<AppWcet>& wcets,
+                                          const InterleavedSchedule& schedule,
+                                          std::size_t periods) {
+  validate_wcets(wcets, schedule.num_apps());
+  const std::vector<std::size_t> seq = schedule.task_sequence();
+  std::vector<ScheduledTask> out;
+  out.reserve(seq.size() * periods);
+  double t = 0.0;
+  for (std::size_t p = 0; p < periods; ++p) {
+    std::size_t burst_pos = 0;
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      const std::size_t global_prev_app =
+          (p == 0 && k == 0)
+              ? static_cast<std::size_t>(-1)  // very first task: cold
+              : seq[(k + seq.size() - 1) % seq.size()];
+      const bool warm = (global_prev_app == seq[k]);
+      burst_pos = warm ? burst_pos + 1 : 0;
+      ScheduledTask st;
+      st.app = seq[k];
+      st.burst_pos = burst_pos;
+      st.warm = warm;
+      st.start = t;
+      t += warm ? wcets[seq[k]].warm_seconds : wcets[seq[k]].cold_seconds;
+      st.end = t;
+      out.push_back(st);
+    }
+  }
+  return out;
+}
+
+}  // namespace catsched::sched

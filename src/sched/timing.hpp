@@ -1,0 +1,85 @@
+#pragma once
+/// \file timing.hpp
+/// \brief Control timing parameter derivation (paper Sec. II-C): from
+///        cold/warm WCETs and a schedule, compute every sampling period
+///        h_i(j) and sensing-to-actuation delay tau_i(j), the schedule
+///        period, and the idle-time feasibility check (paper eq. (4)).
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace catsched::sched {
+
+/// Cold- and warm-cache WCETs of one application's control task, in
+/// seconds. Produced by cache::analyze_wcet or entered directly (e.g. the
+/// paper's Table I).
+struct AppWcet {
+  double cold_seconds = 0.0;  ///< WCET without cache reuse, Ewc(1)
+  double warm_seconds = 0.0;  ///< WCET with cache reuse, Ewc(j >= 2)
+};
+
+/// One control interval of an application: from the sensing of one of its
+/// tasks to the sensing of its next task.
+struct Interval {
+  double h = 0.0;    ///< sampling period of this task
+  double tau = 0.0;  ///< sensing-to-actuation delay (= task WCET)
+  bool warm = false; ///< true if this task runs on a reused (warm) cache
+};
+
+/// All control intervals of one application across a schedule period, in
+/// execution order of its tasks (cyclic).
+struct AppTiming {
+  std::vector<Interval> intervals;
+
+  /// Longest sampling period h_i^max (idle-time constraint, eq. (4)).
+  double h_max() const;
+  /// Index of the interval with the longest h (the idle gap; the paper's
+  /// worst-case settling phase starts here).
+  std::size_t longest_interval() const;
+  /// Sum of h over intervals == schedule period.
+  double period() const;
+  /// Time not executing this app = period() - sum(tau).
+  double idle_total() const;
+};
+
+/// Timing of every application under one schedule.
+struct ScheduleTiming {
+  std::vector<AppTiming> apps;
+  double period = 0.0;  ///< schedule (hyper)period in seconds
+};
+
+/// Derive timing for a periodic schedule (m1..mn). Task j of app i is warm
+/// iff j >= 2 (another app ran since otherwise); with a single application
+/// every steady-state task is warm.
+/// \throws std::invalid_argument if sizes mismatch or any WCET is invalid
+///         (cold <= 0 or warm outside (0, cold]).
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const PeriodicSchedule& schedule);
+
+/// Derive timing for a general interleaved schedule. A task is warm iff the
+/// cyclically-previous task belongs to the same application.
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const InterleavedSchedule& schedule);
+
+/// Paper eq. (4): h_i^max <= tidle_i for every application.
+/// \throws std::invalid_argument if tidle size mismatches.
+bool idle_feasible(const ScheduleTiming& timing,
+                   const std::vector<double>& tidle);
+
+/// One task instance on the shared processor timeline.
+struct ScheduledTask {
+  std::size_t app = 0;
+  std::size_t burst_pos = 0;  ///< position within its consecutive burst
+  bool warm = false;
+  double start = 0.0;  ///< sensing instant
+  double end = 0.0;    ///< actuation instant (start + WCET)
+};
+
+/// Expand `periods` schedule periods into an absolute-time task list
+/// (steady-state WCETs; period 0 starts at t = 0 with its first task).
+std::vector<ScheduledTask> build_timeline(const std::vector<AppWcet>& wcets,
+                                          const InterleavedSchedule& schedule,
+                                          std::size_t periods);
+
+}  // namespace catsched::sched

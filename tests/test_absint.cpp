@@ -1,0 +1,210 @@
+/// \file test_absint.cpp
+/// \brief Abstract cache domain tests: transfer-function semantics on
+///        direct-mapped and set-associative LRU caches, join laws, and the
+///        fundamental soundness property against the concrete CacheSim --
+///        must-hits are real hits and may-misses are real misses on EVERY
+///        concrete execution, for randomized access sequences.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "cache/absint.hpp"
+#include "cache/cache_model.hpp"
+
+namespace {
+
+using catsched::cache::AbstractCacheState;
+using catsched::cache::CacheConfig;
+using catsched::cache::CachePair;
+using catsched::cache::CacheSim;
+using catsched::cache::Classification;
+
+CacheConfig small_cache(std::size_t lines, std::size_t assoc) {
+  CacheConfig c;
+  c.num_lines = lines;
+  c.associativity = assoc;
+  return c;
+}
+
+TEST(MustState, RepeatAccessBecomesGuaranteed) {
+  AbstractCacheState must(small_cache(8, 2), AbstractCacheState::Kind::must);
+  EXPECT_FALSE(must.contains(3));
+  must.access(3);
+  EXPECT_TRUE(must.contains(3));
+  EXPECT_EQ(must.age(3), 0u);
+}
+
+TEST(MustState, AgeingEvictsAtAssociativity) {
+  // 2-way cache, one set (fully associative over 2 lines): the third
+  // distinct line in a set pushes the oldest out of the must state.
+  AbstractCacheState must(small_cache(2, 2), AbstractCacheState::Kind::must);
+  must.access(0);
+  must.access(2);  // same set (addresses mod 1 set)
+  must.access(4);
+  EXPECT_FALSE(must.contains(0));
+  EXPECT_TRUE(must.contains(2));
+  EXPECT_TRUE(must.contains(4));
+}
+
+TEST(MustState, HitDoesNotAgeOlderLines) {
+  // LRU semantics: re-accessing a young line must not age lines older than
+  // it (they were already older; their relative position is unchanged).
+  AbstractCacheState must(small_cache(4, 4), AbstractCacheState::Kind::must);
+  must.access(0);
+  must.access(4);
+  must.access(8);   // ages: 8->0, 4->1, 0->2
+  must.access(8);   // re-access MRU: nothing else ages
+  EXPECT_EQ(must.age(0), 2u);
+  EXPECT_EQ(must.age(4), 1u);
+  EXPECT_EQ(must.age(8), 0u);
+}
+
+TEST(MustJoin, IntersectionWithMaxAge) {
+  const CacheConfig cfg = small_cache(4, 4);
+  AbstractCacheState a(cfg, AbstractCacheState::Kind::must);
+  AbstractCacheState b(cfg, AbstractCacheState::Kind::must);
+  a.access(0);
+  a.access(4);  // a: {4:0, 0:1}
+  b.access(4);
+  b.access(8);  // b: {8:0, 4:1}
+  a.join(b);
+  EXPECT_TRUE(a.contains(4));   // only 4 survives the intersection
+  EXPECT_FALSE(a.contains(0));
+  EXPECT_FALSE(a.contains(8));
+  EXPECT_EQ(a.age(4), 1u);      // max(0, 1)
+}
+
+TEST(MayJoin, UnionWithMinAge) {
+  const CacheConfig cfg = small_cache(4, 4);
+  AbstractCacheState a(cfg, AbstractCacheState::Kind::may);
+  AbstractCacheState b(cfg, AbstractCacheState::Kind::may);
+  a.access(0);
+  a.access(4);  // a: {4:0, 0:1}
+  b.access(8);  // b: {8:0}
+  a.join(b);
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(4));
+  EXPECT_TRUE(a.contains(8));
+  EXPECT_EQ(a.age(8), 0u);
+}
+
+TEST(JoinLaws, JoinIsIdempotentAndMonotoneOnExamples) {
+  const CacheConfig cfg = small_cache(8, 2);
+  AbstractCacheState a(cfg, AbstractCacheState::Kind::must);
+  a.access(1);
+  a.access(3);
+  AbstractCacheState copy = a;
+  copy.join(a);
+  EXPECT_EQ(copy, a);  // x join x = x
+}
+
+TEST(Join, ThrowsOnKindMismatch) {
+  const CacheConfig cfg = small_cache(8, 2);
+  AbstractCacheState must(cfg, AbstractCacheState::Kind::must);
+  AbstractCacheState may(cfg, AbstractCacheState::Kind::may);
+  EXPECT_THROW(must.join(may), std::invalid_argument);
+}
+
+TEST(CachePairClassify, ColdAccessIsAlwaysMiss) {
+  CachePair pair(small_cache(8, 2));
+  EXPECT_EQ(pair.classify(5), Classification::always_miss);
+  pair.access(5);
+  EXPECT_EQ(pair.classify(5), Classification::always_hit);
+}
+
+TEST(CachePairClassify, JoinOfDivergentPathsGivesNotClassified) {
+  const CacheConfig cfg = small_cache(8, 2);
+  CachePair then_path(cfg);
+  CachePair else_path(cfg);
+  then_path.access(1);  // line 1 cached only on the then-path
+  then_path.join(else_path);
+  // After the join, 1 is possible (may) but not guaranteed (must).
+  EXPECT_EQ(then_path.classify(1), Classification::not_classified);
+}
+
+struct SoundnessParams {
+  std::size_t lines;
+  std::size_t assoc;
+  std::uint32_t seed;
+};
+
+class AbsintSoundnessSweep
+    : public ::testing::TestWithParam<SoundnessParams> {};
+
+/// The core soundness theorem, tested empirically: running ONE concrete
+/// access sequence, every access classified AH must hit in the concrete
+/// cache and every access classified AM must miss, regardless of cache
+/// geometry. (NC may do either.)
+TEST_P(AbsintSoundnessSweep, MustHitsAndMayMissesAreSound) {
+  const auto p = GetParam();
+  const CacheConfig cfg = small_cache(p.lines, p.assoc);
+  CacheSim sim(cfg);
+  CachePair pair(cfg);
+
+  std::mt19937 rng(p.seed);
+  std::uniform_int_distribution<std::uint64_t> addr(0, 2 * p.lines);
+  int checked_ah = 0;
+  int checked_am = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t line = addr(rng);
+    const Classification c = pair.classify_and_access(line);
+    const bool hit = sim.access(line);
+    if (c == Classification::always_hit) {
+      ASSERT_TRUE(hit) << "unsound AH at access " << i << " line " << line;
+      ++checked_ah;
+    } else if (c == Classification::always_miss) {
+      ASSERT_FALSE(hit) << "unsound AM at access " << i << " line " << line;
+      ++checked_am;
+    }
+  }
+  // The sweep must actually exercise both classifications.
+  EXPECT_GT(checked_ah, 0);
+  EXPECT_GT(checked_am, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AbsintSoundnessSweep,
+    ::testing::Values(SoundnessParams{8, 1, 11}, SoundnessParams{8, 2, 12},
+                      SoundnessParams{8, 4, 13}, SoundnessParams{16, 1, 14},
+                      SoundnessParams{16, 4, 15}, SoundnessParams{32, 8, 16},
+                      SoundnessParams{16, 0, 17},  // fully associative
+                      SoundnessParams{64, 2, 18}));
+
+/// Soundness must survive joins: classify against the join of two abstract
+/// states, then check against BOTH concrete caches the join covers.
+TEST(AbsintSoundness, JoinCoversBothConcreteStates) {
+  const CacheConfig cfg = small_cache(8, 2);
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::uint64_t> addr(0, 15);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    CacheSim sim_a(cfg);
+    CacheSim sim_b(cfg);
+    CachePair pair_a(cfg);
+    CachePair pair_b(cfg);
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t la = addr(rng);
+      const std::uint64_t lb = addr(rng);
+      pair_a.access(la);
+      sim_a.access(la);
+      pair_b.access(lb);
+      sim_b.access(lb);
+    }
+    pair_a.join(pair_b);
+    for (int i = 0; i < 60; ++i) {
+      const std::uint64_t line = addr(rng);
+      const Classification c = pair_a.classify_and_access(line);
+      const bool hit_a = sim_a.access(line);
+      const bool hit_b = sim_b.access(line);
+      if (c == Classification::always_hit) {
+        ASSERT_TRUE(hit_a && hit_b) << "join unsound (AH), trial " << trial;
+      } else if (c == Classification::always_miss) {
+        ASSERT_FALSE(hit_a || hit_b) << "join unsound (AM), trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace

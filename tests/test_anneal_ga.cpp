@@ -1,0 +1,215 @@
+/// \file test_anneal_ga.cpp
+/// \brief Simulated annealing and genetic algorithm tests on synthetic
+///        discrete landscapes with known optima: convergence, escape from
+///        a planted local optimum, determinism, feasibility handling, and
+///        shared-cache evaluation accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/anneal.hpp"
+#include "opt/genetic.hpp"
+
+namespace {
+
+using catsched::opt::anneal_search;
+using catsched::opt::AnnealOptions;
+using catsched::opt::CheapFeasible;
+using catsched::opt::DiscreteObjective;
+using catsched::opt::EvalCache;
+using catsched::opt::EvalOutcome;
+using catsched::opt::GaOptions;
+using catsched::opt::genetic_search;
+
+const CheapFeasible kAll = [](const std::vector<int>&) { return true; };
+
+/// Smooth unimodal bowl with maximum 1.0 at (5, 7).
+const DiscreteObjective kBowl = [](const std::vector<int>& m) {
+  const double d0 = m[0] - 5.0;
+  const double d1 = m[1] - 7.0;
+  return EvalOutcome{1.0 - 0.01 * (d0 * d0 + d1 * d1), true};
+};
+
+/// Rugged landscape: global max 10 at (8,8); planted local max 2 at (2,2)
+/// whose neighbors all score below it (greedy from (2,2) is stuck, but the
+/// barrier is shallow enough for a warm annealer to cross).
+const DiscreteObjective kRugged = [](const std::vector<int>& m) {
+  double v = 10.0 - std::abs(m[0] - 8.0) - std::abs(m[1] - 8.0);
+  if (m[0] == 2 && m[1] == 2) v += 4.0;
+  return EvalOutcome{v, true};
+};
+
+TEST(Anneal, ConvergesOnBowl) {
+  EvalCache cache(kBowl);
+  AnnealOptions opts;
+  opts.iterations = 600;
+  opts.initial_temperature = 0.05;
+  const auto res = anneal_search(cache, kAll, {1, 1}, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_EQ(res.best, (std::vector<int>{5, 7}));
+  EXPECT_NEAR(res.best_value, 1.0, 1e-12);
+}
+
+TEST(Anneal, EscapesPlantedLocalOptimum) {
+  EvalCache cache(kRugged);
+  AnnealOptions opts;
+  opts.iterations = 1500;
+  opts.initial_temperature = 2.0;
+  opts.cooling = 0.995;
+  opts.seed = 3;
+  const auto res = anneal_search(cache, kAll, {2, 2}, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_EQ(res.best, (std::vector<int>{8, 8}));
+  EXPECT_GT(res.uphill_accepts, 0);  // it had to go downhill to get out
+}
+
+TEST(Anneal, ZeroTemperatureIsGreedyAndStaysTrapped) {
+  EvalCache cache(kRugged);
+  AnnealOptions opts;
+  opts.iterations = 400;
+  opts.initial_temperature = 0.0;
+  const auto res = anneal_search(cache, kAll, {2, 2}, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_EQ(res.best, (std::vector<int>{2, 2}));  // planted peak holds it
+  EXPECT_EQ(res.uphill_accepts, 0);
+}
+
+TEST(Anneal, DeterministicForFixedSeed) {
+  EvalCache c1(kRugged);
+  EvalCache c2(kRugged);
+  AnnealOptions opts;
+  opts.seed = 42;
+  const auto r1 = anneal_search(c1, kAll, {4, 4}, opts);
+  const auto r2 = anneal_search(c2, kAll, {4, 4}, opts);
+  EXPECT_EQ(r1.best, r2.best);
+  EXPECT_EQ(r1.accepted_moves, r2.accepted_moves);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+}
+
+TEST(Anneal, RespectsCheapFeasibleRegion) {
+  // Feasible wedge m0 + m1 <= 9 excludes the bowl optimum (5,7); the best
+  // reachable point on the boundary is (2,7) or (3,6) etc. with d0+d1 = 9.
+  const CheapFeasible wedge = [](const std::vector<int>& m) {
+    return m[0] + m[1] <= 9;
+  };
+  EvalCache cache(kBowl);
+  AnnealOptions opts;
+  opts.iterations = 800;
+  const auto res = anneal_search(cache, wedge, {1, 1}, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_LE(res.best[0] + res.best[1], 9);
+  // Best wedge point: minimize (m0-5)^2 + (m1-7)^2 subject to sum <= 9 ->
+  // (3,6) or (4,5): distance^2 = 4+1 = 5 or 1+4 = 5.
+  EXPECT_NEAR(res.best_value, 1.0 - 0.01 * 5.0, 1e-12);
+}
+
+TEST(Anneal, ThrowsOnBadStart) {
+  EvalCache cache(kBowl);
+  EXPECT_THROW(anneal_search(cache, kAll, {}, {}), std::invalid_argument);
+  EXPECT_THROW(anneal_search(cache, kAll, {0, 5}, {}),
+               std::invalid_argument);
+  const CheapFeasible none = [](const std::vector<int>&) { return false; };
+  EXPECT_THROW(anneal_search(cache, none, {1, 1}, {}),
+               std::invalid_argument);
+}
+
+TEST(Anneal, InfeasibleObjectiveRegionIsCrossedNotChosen) {
+  // Points with m0 in {4,5,6} are control-infeasible (eq. (3)) but sit on
+  // the only path from (1,7) to the optimum at (9,7).
+  const DiscreteObjective gap = [](const std::vector<int>& m) {
+    const bool ok = m[0] < 4 || m[0] > 6;
+    return EvalOutcome{1.0 - 0.02 * std::abs(m[0] - 9.0) -
+                           0.02 * std::abs(m[1] - 7.0),
+                       ok};
+  };
+  EvalCache cache(gap);
+  AnnealOptions opts;
+  opts.iterations = 1200;
+  opts.initial_temperature = 1.0;
+  opts.cooling = 0.995;
+  opts.seed = 9;
+  const auto res = anneal_search(cache, kAll, {1, 7}, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_EQ(res.best, (std::vector<int>{9, 7}));  // crossed the gap
+}
+
+TEST(Ga, ConvergesOnBowl) {
+  EvalCache cache(kBowl);
+  GaOptions opts;
+  opts.population = 16;
+  opts.generations = 30;
+  opts.max_value = 16;
+  const auto res = genetic_search(cache, kAll, 2, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_EQ(res.best, (std::vector<int>{5, 7}));
+}
+
+TEST(Ga, FindsGlobalOnRuggedLandscape) {
+  EvalCache cache(kRugged);
+  GaOptions opts;
+  opts.population = 20;
+  opts.generations = 25;
+  opts.max_value = 12;
+  opts.seed = 5;
+  const auto res = genetic_search(cache, kAll, 2, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_EQ(res.best, (std::vector<int>{8, 8}));
+}
+
+TEST(Ga, DeterministicForFixedSeed) {
+  EvalCache c1(kBowl);
+  EvalCache c2(kBowl);
+  GaOptions opts;
+  opts.seed = 11;
+  const auto r1 = genetic_search(c1, kAll, 2, opts);
+  const auto r2 = genetic_search(c2, kAll, 2, opts);
+  EXPECT_EQ(r1.best, r2.best);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+}
+
+TEST(Ga, StaysInsideCheapFeasibleRegion) {
+  const CheapFeasible wedge = [](const std::vector<int>& m) {
+    return m[0] + m[1] <= 9;
+  };
+  EvalCache cache(kBowl);
+  GaOptions opts;
+  opts.population = 16;
+  opts.generations = 25;
+  opts.max_value = 16;
+  const auto res = genetic_search(cache, wedge, 2, opts);
+  ASSERT_TRUE(res.found_feasible);
+  EXPECT_LE(res.best[0] + res.best[1], 9);
+  EXPECT_NEAR(res.best_value, 1.0 - 0.01 * 5.0, 1e-12);
+}
+
+TEST(Ga, RejectsDegenerateArguments) {
+  EvalCache cache(kBowl);
+  EXPECT_THROW(genetic_search(cache, kAll, 0, {}), std::invalid_argument);
+  GaOptions opts;
+  opts.population = 1;
+  EXPECT_THROW(genetic_search(cache, kAll, 2, opts), std::invalid_argument);
+}
+
+TEST(Ga, ThrowsWhenNoFeasibleIndividualExists) {
+  const CheapFeasible none = [](const std::vector<int>&) { return false; };
+  EvalCache cache(kBowl);
+  EXPECT_THROW(genetic_search(cache, none, 2, {}), std::runtime_error);
+}
+
+TEST(SharedCache, AccountsUniqueEvaluationsAcrossSearches) {
+  // Two annealing runs through one cache: the second pays only for points
+  // the first did not visit (the paper's evaluation accounting).
+  EvalCache cache(kBowl);
+  AnnealOptions opts;
+  opts.iterations = 300;
+  const auto r1 = anneal_search(cache, kAll, {1, 1}, opts);
+  const int after_first = cache.unique_evaluations();
+  AnnealOptions opts2 = opts;
+  opts2.seed = 2;
+  const auto r2 = anneal_search(cache, kAll, {1, 1}, opts2);
+  EXPECT_EQ(cache.unique_evaluations(), after_first + r2.evaluations);
+  EXPECT_LE(r2.evaluations, after_first);  // heavy reuse on the same bowl
+}
+
+}  // namespace

@@ -1,0 +1,508 @@
+// Unit and property tests for the control substrate: discretization with
+// delay, pole placement, lifted/monodromy stability, feedforward design,
+// switched simulation and settling measurement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/c2d.hpp"
+#include "control/design.hpp"
+#include "control/lti.hpp"
+#include "control/pole_place.hpp"
+#include "control/switched.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+
+using namespace catsched;
+using namespace catsched::control;
+using linalg::Matrix;
+
+namespace {
+
+/// Lightly damped oscillator (case-study-like plant).
+ContinuousLTI oscillator(double w0 = 100.0, double zeta = 0.2,
+                         double b = 1.0e4) {
+  ContinuousLTI p;
+  p.a = Matrix{{0.0, 1.0}, {-w0 * w0, -2.0 * zeta * w0}};
+  p.b = Matrix{{0.0}, {b}};
+  p.c = Matrix{{1.0, 0.0}};
+  return p;
+}
+
+/// Stable first-order plant.
+ContinuousLTI first_order(double a = 50.0, double b = 100.0) {
+  ContinuousLTI p;
+  p.a = Matrix{{-a}};
+  p.b = Matrix{{b}};
+  p.c = Matrix{{1.0}};
+  return p;
+}
+
+std::vector<sched::Interval> uniform_intervals(std::size_t m, double h,
+                                               double tau) {
+  std::vector<sched::Interval> ivs(m);
+  for (auto& iv : ivs) {
+    iv.h = h;
+    iv.tau = tau;
+    iv.warm = true;
+  }
+  return ivs;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- LTI
+
+TEST(Lti, ValidationCatchesBadDims) {
+  ContinuousLTI p = oscillator();
+  p.b = Matrix(3, 1);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = oscillator();
+  p.c = Matrix(2, 2);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Lti, EquilibriumOscillator) {
+  const ContinuousLTI p = oscillator(100.0, 0.2, 1.0e4);
+  const Equilibrium eq = equilibrium_at(p, 2.0);
+  // x = [2, 0], u = w0^2 * 2 / b
+  EXPECT_NEAR(eq.x(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(eq.x(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(eq.u, 100.0 * 100.0 * 2.0 / 1.0e4, 1e-12);
+}
+
+TEST(Lti, EquilibriumWithIntegratorPlant) {
+  // Double integrator: A singular, but the bordered system is regular.
+  ContinuousLTI p;
+  p.a = Matrix{{0.0, 1.0}, {0.0, -30.0}};
+  p.b = Matrix{{0.0}, {500.0}};
+  p.c = Matrix{{1.0, 0.0}};
+  const Equilibrium eq = equilibrium_at(p, 0.4);
+  EXPECT_NEAR(eq.x(0, 0), 0.4, 1e-12);
+  EXPECT_NEAR(eq.u, 0.0, 1e-12);
+}
+
+TEST(Lti, Controllability) {
+  const ContinuousLTI p = oscillator();
+  EXPECT_TRUE(is_controllable(p.a, p.b));
+  // Uncontrollable: input touches only a decoupled state.
+  Matrix a{{-1.0, 0.0}, {0.0, -2.0}};
+  Matrix b{{1.0}, {0.0}};
+  EXPECT_FALSE(is_controllable(a, b));
+}
+
+// ------------------------------------------------------------------- c2d
+
+TEST(C2d, MatchesExpmForFullInterval) {
+  const ContinuousLTI p = oscillator();
+  const PhaseDynamics pd = discretize_interval(p, 1.0e-3, 0.4e-3);
+  EXPECT_TRUE(linalg::approx_equal(pd.ad, linalg::expm(p.a * 1.0e-3), 1e-12));
+  // B1 + B2 = full ZOH input matrix.
+  const Matrix bfull = linalg::expm_integral(p.a, 1.0e-3) * p.b;
+  EXPECT_TRUE(linalg::approx_equal(pd.btot, bfull, 1e-12));
+  EXPECT_TRUE(linalg::approx_equal(pd.b1 + pd.b2, bfull, 1e-12));
+}
+
+TEST(C2d, TauEqualsHMeansNoFreshInput) {
+  // tau == h: the fresh input only acts in the next interval (B2 = 0).
+  const PhaseDynamics pd = discretize_interval(oscillator(), 1e-3, 1e-3);
+  EXPECT_LT(pd.b2.max_abs(), 1e-15);
+  EXPECT_TRUE(linalg::approx_equal(pd.b1, pd.btot, 1e-12));
+}
+
+TEST(C2d, ZeroTauMeansNoHeldInput) {
+  const PhaseDynamics pd = discretize_interval(oscillator(), 1e-3, 0.0);
+  EXPECT_LT(pd.b1.max_abs(), 1e-15);
+}
+
+TEST(C2d, RejectsBadIntervals) {
+  EXPECT_THROW(discretize_interval(oscillator(), 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(discretize_interval(oscillator(), 1e-3, 2e-3),
+               std::invalid_argument);
+}
+
+TEST(C2d, DelaySplitConsistency) {
+  // Property: propagating [0,tau) with u_old then [tau,h) with u_new equals
+  // Ad x + B1 u_old + B2 u_new, for several tau fractions.
+  const ContinuousLTI p = oscillator(140.0, 0.1, 2.0e4);
+  const double h = 0.8e-3;
+  const Matrix x0 = Matrix::column({0.3, -2.0});
+  for (double frac : {0.1, 0.37, 0.5, 0.99}) {
+    const double tau = frac * h;
+    const PhaseDynamics pd = discretize_interval(p, h, tau);
+    const double u_old = 0.7;
+    const double u_new = -0.4;
+    // Reference: two-stage exact propagation.
+    const auto s1 = linalg::expm_with_integral(p.a, tau);
+    const auto s2 = linalg::expm_with_integral(p.a, h - tau);
+    const Matrix x_mid = s1.ad * x0 + s1.phi * p.b * u_old;
+    const Matrix x_ref = s2.ad * x_mid + s2.phi * p.b * u_new;
+    const Matrix x_got = pd.ad * x0 + pd.b1 * u_old + pd.b2 * u_new;
+    EXPECT_TRUE(linalg::approx_equal(x_got, x_ref, 1e-10)) << "frac " << frac;
+  }
+}
+
+// --------------------------------------------------------- pole placement
+
+TEST(PolePlace, PlacesRequestedPoles) {
+  const ContinuousLTI p = oscillator();
+  const PhaseDynamics pd = discretize_interval(p, 1e-3, 0.0);
+  const std::vector<std::complex<double>> want = {{0.5, 0.2}, {0.5, -0.2}};
+  const Matrix k = place_poles(pd.ad, pd.btot, want);
+  const Matrix acl = pd.ad + pd.btot * k;
+  auto got = linalg::eigenvalues(acl);
+  ASSERT_EQ(got.size(), 2u);
+  // Compare as sets (order free).
+  const double d1 = std::abs(got[0] - want[0]) + std::abs(got[1] - want[1]);
+  const double d2 = std::abs(got[0] - want[1]) + std::abs(got[1] - want[0]);
+  EXPECT_LT(std::min(d1, d2), 1e-9);
+}
+
+TEST(PolePlace, DeadbeatPoles) {
+  const PhaseDynamics pd = discretize_interval(oscillator(), 1e-3, 0.0);
+  const Matrix k = place_poles(pd.ad, pd.btot, {{0.0, 0.0}, {0.0, 0.0}});
+  const Matrix acl = pd.ad + pd.btot * k;
+  // Deadbeat: Acl^2 = 0.
+  EXPECT_LT((acl * acl).max_abs(), 1e-9);
+}
+
+TEST(PolePlace, PropertyRandomRadiiSpectralRadius) {
+  const PhaseDynamics pd = discretize_interval(oscillator(), 1.5e-3, 0.0);
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const Matrix k = place_poles(pd.ad, pd.btot, {{rho, 0.0}, {-rho, 0.0}});
+    EXPECT_NEAR(linalg::spectral_radius(pd.ad + pd.btot * k), rho, 1e-9);
+  }
+}
+
+TEST(PolePlace, ErrorsOnBadInput) {
+  const PhaseDynamics pd = discretize_interval(oscillator(), 1e-3, 0.0);
+  EXPECT_THROW(place_poles(pd.ad, pd.btot, {{0.5, 0.0}}),
+               std::invalid_argument);  // wrong pole count
+  // Uncontrollable pair.
+  Matrix a{{0.5, 0.0}, {0.0, 0.6}};
+  Matrix b{{1.0}, {0.0}};
+  EXPECT_THROW(place_poles(a, b, {{0.1, 0.0}, {0.2, 0.0}}), std::domain_error);
+}
+
+TEST(PolePlace, StaticFeedforwardTracksDc) {
+  const PhaseDynamics pd = discretize_interval(first_order(), 2e-3, 0.0);
+  ContinuousLTI p = first_order();
+  const Matrix k = place_poles(pd.ad, pd.btot, {{0.5, 0.0}});
+  const double f = static_feedforward(pd.ad, pd.btot, p.c, k);
+  // Steady state: x = (A+BK) x + B F r  =>  C x must equal r.
+  const double r = 3.0;
+  const Matrix xss = catsched::linalg::solve(
+      Matrix::identity(1) - pd.ad - pd.btot * k, pd.btot * (f * r));
+  EXPECT_NEAR((p.c * xss)(0, 0), r, 1e-9);
+}
+
+// --------------------------------------------- lifted system and stability
+
+TEST(Switched, MonodromyMatchesLiftedSpectrum) {
+  // The non-zero eigenvalues of the paper's Ahol (eq. (16)) must coincide
+  // with those of the augmented monodromy matrix.
+  const ContinuousLTI p = oscillator();
+  std::vector<sched::Interval> ivs(2);
+  ivs[0] = {0.9e-3, 0.9e-3, false};   // in-burst: tau == h
+  ivs[1] = {2.4e-3, 0.45e-3, true};   // gap interval
+  const auto phases = discretize_phases(p, ivs);
+  const std::vector<Matrix> k = {Matrix{{-0.4, -0.01}}, Matrix{{-0.5, -0.02}}};
+
+  auto ev_mono = linalg::eigenvalues(closed_loop_monodromy(phases, k));
+  auto ev_lift = linalg::eigenvalues(lifted_closed_loop(phases, k));
+  // Collect non-negligible magnitudes, sorted.
+  auto mags = [](const std::vector<std::complex<double>>& v) {
+    std::vector<double> m;
+    for (auto& e : v) {
+      if (std::abs(e) > 1e-9) m.push_back(std::abs(e));
+    }
+    std::sort(m.begin(), m.end());
+    return m;
+  };
+  const auto m1 = mags(ev_mono);
+  const auto m2 = mags(ev_lift);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_NEAR(m1[i], m2[i], 1e-8);
+  }
+}
+
+TEST(Switched, LiftedRequiresTwoPhases) {
+  const auto phases = discretize_phases(oscillator(), uniform_intervals(1, 1e-3, 0.5e-3));
+  EXPECT_THROW(lifted_closed_loop(phases, {Matrix{{0.0, 0.0}}}),
+               std::invalid_argument);
+}
+
+TEST(Switched, ZeroGainStabilityMatchesPlant) {
+  // With K = 0 the monodromy spectral radius is that of the open loop.
+  const ContinuousLTI p = oscillator(80.0, 0.3, 1e4);
+  const auto ivs = uniform_intervals(3, 1e-3, 0.4e-3);
+  const auto phases = discretize_phases(p, ivs);
+  const std::vector<Matrix> k(3, Matrix(1, 2));
+  const double rho = linalg::spectral_radius(closed_loop_monodromy(phases, k));
+  const double rho_ol =
+      linalg::spectral_radius(linalg::expm(p.a * 3.0e-3));
+  EXPECT_NEAR(rho, rho_ol, 1e-9);
+}
+
+// ------------------------------------------------------------ feedforward
+
+TEST(Feedforward, ExactHoldsReferenceAtAllSamples) {
+  const ContinuousLTI p = oscillator(120.0, 0.15, 1.75e4);
+  std::vector<sched::Interval> ivs(3);
+  ivs[0] = {0.90755e-3, 0.90755e-3, false};
+  ivs[1] = {0.45215e-3, 0.45215e-3, true};
+  ivs[2] = {2.49025e-3, 0.45215e-3, true};
+  SwitchedSimulator sim(p, ivs);
+  // Find a gain set whose switched closed loop is comfortably stable
+  // (per-phase placement does not guarantee switched stability, so scan).
+  std::vector<Matrix> k;
+  bool found = false;
+  for (double radius : {0.5, 0.65, 0.8, 0.9}) {
+    std::vector<Matrix> cand;
+    for (const auto& pd : sim.phases()) {
+      cand.push_back(
+          place_poles(pd.ad, pd.btot, {{radius, 0.1}, {radius, -0.1}}));
+    }
+    if (linalg::spectral_radius(closed_loop_monodromy(sim.phases(), cand)) <
+        0.85) {
+      k = cand;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  const auto f = exact_feedforward(sim.phases(), p.c, k);
+  ASSERT_TRUE(f.has_value());
+  // Simulate long enough to converge, then check y == r at every sample.
+  PhaseGains gains{k, *f};
+  SimOptions so;
+  so.r = 0.26;
+  so.horizon = 200e-3;
+  so.hold_first_interval = false;
+  const SimResult sr = sim.simulate(gains, Matrix(2, 1), 0.0, so);
+  ASSERT_FALSE(sr.diverged);
+  // Last few samples must sit on the reference.
+  for (std::size_t i = sr.ys.size() - 6; i < sr.ys.size(); ++i) {
+    EXPECT_NEAR(sr.ys[i], so.r, 2e-4 * so.r) << "sample " << i;
+  }
+}
+
+TEST(Feedforward, PerIntervalReducesToStaticForUniform) {
+  // For a single-phase (uniform) schedule the per-interval formula equals
+  // the classic static feedforward.
+  const ContinuousLTI p = first_order();
+  const auto phases = discretize_phases(p, uniform_intervals(1, 2e-3, 0.0));
+  const Matrix k = place_poles(phases[0].ad, phases[0].btot, {{0.4, 0.0}});
+  const auto f = per_interval_feedforward(phases, p.c, {k});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR((*f)[0],
+              static_feedforward(phases[0].ad, phases[0].btot, p.c, k), 1e-12);
+  // And for uniform timing the exact variant agrees too.
+  const auto fe = exact_feedforward(phases, p.c, {k});
+  ASSERT_TRUE(fe.has_value());
+  EXPECT_NEAR((*fe)[0], (*f)[0], 1e-9);
+}
+
+// ------------------------------------------------------------- simulation
+
+TEST(Simulator, EquilibriumIsFixedPoint) {
+  // Starting at the equilibrium with the equilibrium input and r = y0, the
+  // trajectory stays put.
+  const ContinuousLTI p = oscillator(110.0, 0.2, 3.0e6);
+  std::vector<sched::Interval> ivs = uniform_intervals(2, 1.2e-3, 0.6e-3);
+  SwitchedSimulator sim(p, ivs);
+  std::vector<Matrix> k;
+  for (const auto& pd : sim.phases()) {
+    k.push_back(place_poles(pd.ad, pd.btot, {{0.4, 0.2}, {0.4, -0.2}}));
+  }
+  const auto f = exact_feedforward(sim.phases(), p.c, k);
+  ASSERT_TRUE(f.has_value());
+  const Equilibrium eq = equilibrium_at(p, 1500.0);
+  SimOptions so;
+  so.r = 1500.0;
+  so.horizon = 20e-3;
+  const SimResult sr = sim.simulate({k, *f}, eq.x, eq.u, so);
+  for (double y : sr.y) EXPECT_NEAR(y, 1500.0, 1e-6 * 1500.0);
+  EXPECT_TRUE(sr.settled);
+  EXPECT_NEAR(sr.settling_time, 0.0, 1e-12);
+}
+
+TEST(Simulator, DenseTrajectoryMatchesPhaseDynamicsAtSamples) {
+  // The dense substep propagation must land exactly on the one-step
+  // discretization at interval boundaries.
+  const ContinuousLTI p = oscillator(90.0, 0.25, 5e5);
+  std::vector<sched::Interval> ivs(2);
+  ivs[0] = {0.7e-3, 0.7e-3, false};
+  ivs[1] = {1.9e-3, 0.3e-3, true};
+  SwitchedSimulator sim(p, ivs);
+  std::vector<Matrix> k = {Matrix{{-1e-3, -1e-5}}, Matrix{{-2e-3, -2e-5}}};
+  const auto f = exact_feedforward(sim.phases(), p.c, k);
+  ASSERT_TRUE(f.has_value());
+  SimOptions so;
+  so.r = 100.0;
+  so.horizon = 10e-3;
+  so.hold_first_interval = false;
+  const SimResult sr = sim.simulate({k, *f}, Matrix(2, 1), 0.0, so);
+
+  // Manual reference recurrence.
+  Matrix x(2, 1);
+  double u_prev = 0.0;
+  std::size_t phase = 0;
+  for (std::size_t step = 0; step < 4; ++step) {
+    const auto& pd = sim.phases()[phase];
+    const double u_new = (k[phase] * x)(0, 0) + (*f)[phase] * so.r;
+    x = pd.ad * x + pd.b1 * u_prev + pd.b2 * u_new;
+    u_prev = u_new;
+    phase = (phase + 1) % 2;
+    // Find the matching sample in the dense sim (sensing instants ts).
+    ASSERT_GT(sr.ys.size(), step + 1);
+    EXPECT_NEAR(sr.ys[step + 1], (p.c * x)(0, 0), 1e-7 * std::abs(so.r))
+        << "step " << step;
+  }
+}
+
+TEST(Simulator, HoldFirstIntervalKeepsOldInput) {
+  const ContinuousLTI p = first_order(30.0, 60.0);
+  SwitchedSimulator sim(p, uniform_intervals(1, 2e-3, 1e-3));
+  std::vector<Matrix> k = {Matrix{{-0.2}}};
+  const auto f = exact_feedforward(sim.phases(), p.c, k);
+  ASSERT_TRUE(f.has_value());
+  const Equilibrium eq = equilibrium_at(p, 1.0);
+  SimOptions so;
+  so.r = 2.0;
+  so.horizon = 0.1;
+  so.hold_first_interval = true;
+  const SimResult sr = sim.simulate({k, *f}, eq.x, eq.u, so);
+  // During the entire first interval the output stays at the old level.
+  for (std::size_t i = 0; i < sr.t.size() && sr.t[i] <= 2e-3 + 1e-9; ++i) {
+    EXPECT_NEAR(sr.y[i], 1.0, 1e-9);
+  }
+  EXPECT_TRUE(sr.settled);
+  EXPECT_GT(sr.settling_time, 2e-3 * 0.9);
+}
+
+TEST(Simulator, DivergenceDetected) {
+  // Unstable closed loop (positive feedback) must flag divergence.
+  const ContinuousLTI p = first_order(10.0, 100.0);
+  SwitchedSimulator sim(p, uniform_intervals(1, 1e-3, 0.0));
+  std::vector<Matrix> k = {Matrix{{+5.0}}};  // destabilizing
+  SimOptions so;
+  so.r = 1.0;
+  so.horizon = 2.0;
+  so.hold_first_interval = false;
+  so.divergence_bound = 1e6;
+  // Start off the (unstable) fixed point so the growth is excited.
+  const SimResult sr =
+      sim.simulate({k, {0.0}}, Matrix::column({0.5}), 0.0, so);
+  EXPECT_TRUE(sr.diverged);
+  EXPECT_FALSE(sr.settled);
+}
+
+TEST(Simulator, InputClampRespected) {
+  const ContinuousLTI p = first_order(30.0, 60.0);
+  SwitchedSimulator sim(p, uniform_intervals(1, 2e-3, 0.0));
+  std::vector<Matrix> k = {Matrix{{-8.0}}};
+  const auto f = exact_feedforward(sim.phases(), p.c, k);
+  ASSERT_TRUE(f.has_value());
+  SimOptions so;
+  so.r = 5.0;
+  so.horizon = 0.05;
+  so.hold_first_interval = false;
+  so.clamp_u = 0.5;
+  const SimResult sr = sim.simulate({k, *f}, Matrix(1, 1), 0.0, so);
+  EXPECT_LE(sr.u_max_abs, 0.5 + 1e-12);
+}
+
+// --------------------------------------------------------------- settling
+
+TEST(Settling, BasicCases) {
+  // Within band from the start.
+  auto s = settling_time({0.0, 1.0, 2.0}, {1.0, 1.01, 0.99}, 1.0, 0.02);
+  EXPECT_TRUE(s.settled);
+  EXPECT_DOUBLE_EQ(s.time, 0.0);
+  // Enters the band at t = 2.
+  s = settling_time({0.0, 1.0, 2.0, 3.0}, {0.0, 0.5, 1.0, 1.0}, 1.0, 0.02);
+  EXPECT_TRUE(s.settled);
+  EXPECT_DOUBLE_EQ(s.time, 2.0);
+  // Re-exits the band: not settled until the final entry.
+  s = settling_time({0.0, 1.0, 2.0, 3.0}, {1.0, 2.0, 1.0, 1.0}, 1.0, 0.02);
+  EXPECT_TRUE(s.settled);
+  EXPECT_DOUBLE_EQ(s.time, 2.0);
+  // Last sample violating: never settles.
+  s = settling_time({0.0, 1.0}, {1.0, 3.0}, 1.0, 0.02);
+  EXPECT_FALSE(s.settled);
+  EXPECT_THROW(settling_time({}, {}, 1.0, 0.02), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- design
+
+TEST(Design, FindsFeasibleControllerForCaseStudyLikePlant) {
+  DesignSpec spec;
+  spec.plant = oscillator(110.0, 0.2, 3.0e6);
+  spec.umax = 60.0;
+  spec.r = 2000.0;
+  spec.y0 = 0.0;
+  spec.smax = 17.5e-3;
+  std::vector<sched::Interval> ivs(2);
+  ivs[0] = {645.25e-6, 645.25e-6, false};
+  ivs[1] = {3204.7e-6, 175.0e-6, true};
+  DesignOptions opts;
+  opts.pso.particles = 24;
+  opts.pso.iterations = 40;
+  opts.pso.seed = 7;
+  opts.settle_on_samples = false;
+  const DesignResult res = design_controller(spec, ivs, opts);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(res.settled);
+  EXPECT_LE(res.settling_time, spec.smax);
+  EXPECT_LE(res.u_max_abs, spec.umax * (1 + 1e-9));
+  EXPECT_LT(res.spectral_radius, 1.0);
+}
+
+TEST(Design, EvaluateGainsConsistentWithDesign) {
+  DesignSpec spec;
+  spec.plant = oscillator(110.0, 0.2, 3.0e6);
+  spec.umax = 60.0;
+  spec.r = 2000.0;
+  spec.y0 = 0.0;
+  spec.smax = 17.5e-3;
+  const auto ivs = uniform_intervals(1, 2.3e-3, 0.75e-3);
+  DesignOptions opts;
+  opts.pso.particles = 16;
+  opts.pso.iterations = 30;
+  opts.settle_on_samples = false;
+  const DesignResult res = design_controller(spec, ivs, opts);
+  ASSERT_TRUE(res.settled);
+  const DesignResult re = evaluate_gains(spec, ivs, res.gains, opts);
+  EXPECT_NEAR(re.settling_time, res.settling_time, 1e-9);
+  EXPECT_NEAR(re.u_max_abs, res.u_max_abs, 1e-9);
+}
+
+TEST(Design, InfeasibleWhenDeadlineImpossible) {
+  // A deadline far below the idle gap cannot be met: the gap alone exceeds
+  // it (the step lands at the start of the longest interval).
+  DesignSpec spec;
+  spec.plant = oscillator();
+  spec.umax = 100.0;
+  spec.r = 1.0;
+  spec.y0 = 0.0;
+  spec.smax = 0.5e-3;  // shorter than the 2.3 ms gap
+  const auto ivs = uniform_intervals(1, 2.3e-3, 0.9e-3);
+  DesignOptions opts;
+  opts.pso.particles = 8;
+  opts.pso.iterations = 10;
+  const DesignResult res = design_controller(spec, ivs, opts);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(Design, RejectsBadSpec) {
+  DesignSpec spec;
+  spec.plant = oscillator();
+  spec.smax = -1.0;
+  EXPECT_THROW(design_controller(spec, uniform_intervals(1, 1e-3, 0.0), {}),
+               std::invalid_argument);
+}

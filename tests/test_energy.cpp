@@ -1,0 +1,126 @@
+/// \file test_energy.cpp
+/// \brief Energy/DVFS co-design tests: scaled cache configuration math,
+///        power-law behaviour, and the frequency sweep on a small system
+///        (memory wall: miss cycles grow with clock; cache-aware gain
+///        persists at every operating point).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/case_study.hpp"
+#include "core/energy.hpp"
+
+namespace {
+
+using catsched::core::Application;
+using catsched::core::average_power_watts;
+using catsched::core::EnergyModel;
+using catsched::core::EnergySweepOptions;
+using catsched::core::frequency_sweep;
+using catsched::core::scaled_config;
+using catsched::core::SystemModel;
+namespace cache = catsched::cache;
+namespace control = catsched::control;
+namespace linalg = catsched::linalg;
+
+TEST(ScaledConfig, MissCyclesTrackTheClock) {
+  const cache::CacheConfig base = catsched::core::date18_cache_config();
+  const EnergyModel model;  // miss_ns = 5000 = 100 cy at 20 MHz
+  const auto at1 = scaled_config(base, model, 1.0);
+  EXPECT_EQ(at1.miss_cycles, 100u);
+  EXPECT_DOUBLE_EQ(at1.clock_hz, 20.0e6);
+  const auto at2 = scaled_config(base, model, 2.0);
+  EXPECT_EQ(at2.miss_cycles, 200u);  // same nanoseconds, twice the cycles
+  const auto at_half = scaled_config(base, model, 0.5);
+  EXPECT_EQ(at_half.miss_cycles, 50u);
+  // Hit cost is architectural: unchanged.
+  EXPECT_EQ(at2.hit_cycles, base.hit_cycles);
+}
+
+TEST(ScaledConfig, MissNeverDropsBelowOneCycle) {
+  const cache::CacheConfig base = catsched::core::date18_cache_config();
+  EnergyModel model;
+  model.miss_ns = 1.0;  // absurdly fast memory
+  EXPECT_GE(scaled_config(base, model, 0.1).miss_cycles, 1u);
+}
+
+TEST(ScaledConfig, RejectsNonPositiveScale) {
+  const cache::CacheConfig base = catsched::core::date18_cache_config();
+  EXPECT_THROW(scaled_config(base, {}, 0.0), std::invalid_argument);
+  EXPECT_THROW(scaled_config(base, {}, -1.0), std::invalid_argument);
+}
+
+TEST(Power, FollowsTheCubeLawForQuadraticEnergyPerCycle) {
+  EnergyModel model;
+  model.nj_per_cycle = 1.0;
+  model.freq_exponent = 2.0;
+  const double p1 = average_power_watts(model, 1.0);
+  EXPECT_NEAR(p1, 1e-9 * 20e6, 1e-12);  // 20 mW at base
+  EXPECT_NEAR(average_power_watts(model, 2.0), 8.0 * p1, 1e-12);
+  EXPECT_NEAR(average_power_watts(model, 0.5), 0.125 * p1, 1e-12);
+}
+
+/// Small two-app system (shared fixture pattern of the core tests).
+SystemModel tiny_system() {
+  SystemModel sys;
+  sys.cache_config = catsched::core::date18_cache_config();
+  const std::size_t sets = sys.cache_config.num_sets();
+  auto make_app = [&](const char* name, std::size_t singles,
+                      std::size_t groups, std::uint64_t base, double w0,
+                      double weight) {
+    Application a;
+    a.name = name;
+    cache::CalibratedLayout lay;
+    lay.singleton_lines = singles;
+    lay.conflict_group_sizes.assign(groups, 2);
+    lay.extra_hit_fetches = 10;
+    a.program = cache::make_calibrated_program(name, lay, sets, base);
+    control::ContinuousLTI p;
+    p.a = linalg::Matrix{{0.0, 1.0}, {-w0 * w0, -0.4 * w0}};
+    p.b = linalg::Matrix{{0.0}, {3.0e6}};
+    p.c = linalg::Matrix{{1.0, 0.0}};
+    a.plant = p;
+    a.weight = weight;
+    a.smax = 25e-3;
+    a.tidle = 9e-3;
+    a.umax = 80.0;
+    a.r = 1000.0;
+    return a;
+  };
+  sys.apps = {make_app("A", 100, 16, 0, 110.0, 0.6),
+              make_app("B", 90, 22, 1024, 140.0, 0.4)};
+  return sys;
+}
+
+TEST(FrequencySweep, ProducesFeasibleMonotonePowerPoints) {
+  const SystemModel sys = tiny_system();
+  EnergySweepOptions opts;
+  opts.design = catsched::core::date18_design_options();
+  opts.design.pso.particles = 12;
+  opts.design.pso.iterations = 20;
+  opts.design.pso_restarts = 1;
+  opts.design.scale_budget_with_dims = false;
+  opts.starts = {{1, 1}};
+  opts.hybrid.max_value = 4;
+
+  const auto points = frequency_sweep(sys, {}, {1.0, 2.0}, opts);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& pt : points) {
+    EXPECT_TRUE(pt.feasible);
+    EXPECT_GT(pt.pall_best, 0.0);
+    EXPECT_GE(pt.pall_best, pt.pall_roundrobin - 1e-9);
+  }
+  EXPECT_LT(points[0].power_w, points[1].power_w);
+  EXPECT_LT(points[0].miss_cycles, points[1].miss_cycles);
+  // Faster clock shortens WCETs -> control can only improve (or the
+  // optimizer at least keeps what it had).
+  EXPECT_GE(points[1].pall_best, points[0].pall_best - 0.05);
+}
+
+TEST(FrequencySweep, RejectsEmptyScaleList) {
+  EXPECT_THROW(frequency_sweep(tiny_system(), {}, {}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+/// \file test_export.cpp
+/// \brief CSV/gnuplot export tests: round-trip parse, formatting, ragged
+///        input rejection, and script references.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/export.hpp"
+
+namespace {
+
+using catsched::core::write_csv;
+using catsched::core::write_gnuplot_script;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(WriteCsv, RoundTripsValues) {
+  TempFile f("roundtrip.csv");
+  write_csv(f.path, {"t", "y"}, {{0.0, 0.5, 1.0}, {1.25, -3.0, 2e-7}});
+  const std::string text = slurp(f.path);
+  EXPECT_EQ(text, "t,y\n0,1.25\n0.5,-3\n1,2e-07\n");
+}
+
+TEST(WriteCsv, RejectsRaggedColumns) {
+  TempFile f("ragged.csv");
+  EXPECT_THROW(write_csv(f.path, {"a", "b"}, {{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_csv(f.path, {}, {}), std::invalid_argument);
+  EXPECT_THROW(write_csv(f.path, {"a"}, {{1.0}, {2.0}}),
+               std::invalid_argument);
+}
+
+TEST(WriteCsv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_csv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}),
+               std::runtime_error);
+}
+
+TEST(Gnuplot, ScriptReferencesEverySeries) {
+  TempFile f("plot.gp");
+  const std::string script = write_gnuplot_script(
+      f.path, "data.csv", "Fig. 6", {"t", "C1", "C2", "C3"});
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("using 1:4"), std::string::npos);
+  EXPECT_NE(script.find("Fig. 6"), std::string::npos);
+  EXPECT_EQ(script, slurp(f.path));
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+/// \file test_interleaved_search.cpp
+/// \brief Interleaved-schedule search tests: neighbor-move validity
+///        (invariants preserved, caps respected), and the local search on a
+///        small synthetic system (must match or beat its periodic start).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/case_study.hpp"
+#include "core/interleaved_codesign.hpp"
+
+namespace {
+
+using catsched::core::Application;
+using catsched::core::Evaluator;
+using catsched::core::interleaved_neighbors;
+using catsched::core::interleaved_search;
+using catsched::core::InterleavedSearchOptions;
+using catsched::core::SystemModel;
+using catsched::sched::InterleavedSchedule;
+using catsched::sched::PeriodicSchedule;
+using catsched::sched::Segment;
+namespace cache = catsched::cache;
+namespace control = catsched::control;
+namespace linalg = catsched::linalg;
+
+TEST(InterleavedNeighbors, AllNeighborsSatisfyInvariants) {
+  const InterleavedSchedule s({{0, 2}, {1, 1}, {0, 1}, {2, 3}}, 3);
+  InterleavedSearchOptions opts;
+  const auto neighbors = interleaved_neighbors(s, opts);
+  EXPECT_FALSE(neighbors.empty());
+  std::set<std::string> seen;
+  for (const auto& n : neighbors) {
+    EXPECT_EQ(n.num_apps(), 3u);
+    EXPECT_LE(n.segments().size(),
+              static_cast<std::size_t>(opts.max_segments));
+    for (const auto& seg : n.segments()) {
+      EXPECT_GE(seg.count, 1);
+      EXPECT_LE(seg.count, opts.max_burst);
+    }
+    // No cyclically-adjacent same-app segments (the class invariant; the
+    // constructor enforces it, this documents that neighbors pass it).
+    const auto& segs = n.segments();
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      if (segs.size() > 1) {
+        EXPECT_NE(segs[i].app, segs[(i + 1) % segs.size()].app);
+      }
+    }
+    // Every app still appears.
+    for (std::size_t app = 0; app < 3; ++app) {
+      EXPECT_GT(n.tasks_of(app), 0) << n.to_string();
+    }
+    seen.insert(n.to_string());
+  }
+  EXPECT_EQ(seen.size(), neighbors.size()) << "duplicate neighbors";
+}
+
+TEST(InterleavedNeighbors, IncludesTheKeyMoveKinds) {
+  const InterleavedSchedule s({{0, 2}, {1, 1}, {2, 1}}, 3);
+  const auto neighbors = interleaved_neighbors(s, {});
+  std::set<std::string> strs;
+  for (const auto& n : neighbors) strs.insert(n.to_string());
+  // Grow burst: (3,1,1).
+  EXPECT_TRUE(strs.count(
+      InterleavedSchedule({{0, 3}, {1, 1}, {2, 1}}, 3).to_string()));
+  // Shrink burst: (1,1,1).
+  EXPECT_TRUE(strs.count(
+      InterleavedSchedule({{0, 1}, {1, 1}, {2, 1}}, 3).to_string()));
+  // Split move equivalent: insert a second C1 segment -> (2,1,1,1)-ish.
+  EXPECT_TRUE(strs.count(
+      InterleavedSchedule({{0, 2}, {1, 1}, {0, 1}, {2, 1}}, 3).to_string()));
+}
+
+TEST(InterleavedNeighbors, SegmentCapPrunesInsertions) {
+  const InterleavedSchedule s({{0, 1}, {1, 1}}, 2);
+  InterleavedSearchOptions tight;
+  tight.max_segments = 2;
+  for (const auto& n : interleaved_neighbors(s, tight)) {
+    EXPECT_LE(n.segments().size(), 2u);
+  }
+}
+
+/// Two-app synthetic system, fast design options (as in test_core).
+SystemModel tiny_system() {
+  SystemModel sys;
+  sys.cache_config = catsched::core::date18_cache_config();
+  const std::size_t sets = sys.cache_config.num_sets();
+  auto make_app = [&](const char* name, std::size_t singles,
+                      std::size_t groups, std::uint64_t base, double w0,
+                      double weight) {
+    Application a;
+    a.name = name;
+    cache::CalibratedLayout lay;
+    lay.singleton_lines = singles;
+    lay.conflict_group_sizes.assign(groups, 2);
+    lay.extra_hit_fetches = 10;
+    a.program = cache::make_calibrated_program(name, lay, sets, base);
+    control::ContinuousLTI p;
+    p.a = linalg::Matrix{{0.0, 1.0}, {-w0 * w0, -0.4 * w0}};
+    p.b = linalg::Matrix{{0.0}, {3.0e6}};
+    p.c = linalg::Matrix{{1.0, 0.0}};
+    a.plant = p;
+    a.weight = weight;
+    a.smax = 25e-3;
+    a.tidle = 9e-3;
+    a.umax = 80.0;
+    a.r = 1000.0;
+    return a;
+  };
+  sys.apps = {make_app("A", 100, 16, 0, 110.0, 0.6),
+              make_app("B", 90, 22, 1024, 140.0, 0.4)};
+  return sys;
+}
+
+control::DesignOptions fast_options() {
+  control::DesignOptions o = catsched::core::date18_design_options();
+  o.pso.particles = 12;
+  o.pso.iterations = 20;
+  o.pso.stall_iterations = 8;
+  o.pso_restarts = 1;
+  o.scale_budget_with_dims = false;
+  return o;
+}
+
+TEST(InterleavedSearch, MatchesOrBeatsPeriodicStart) {
+  Evaluator evaluator(tiny_system(), fast_options());
+  const auto start =
+      InterleavedSchedule::from_periodic(PeriodicSchedule({1, 1}));
+  const double start_pall = evaluator.evaluate(start).pall;
+
+  InterleavedSearchOptions opts;
+  opts.max_steps = 4;       // keep the test fast; improvement shows early
+  opts.max_segments = 4;
+  opts.max_burst = 4;
+  const auto res = interleaved_search(evaluator, start, opts);
+  ASSERT_TRUE(res.found);
+  EXPECT_GE(res.best_evaluation.pall, start_pall - 1e-9);
+  EXPECT_GE(res.evaluations, 1);
+  EXPECT_FALSE(res.path.empty());
+}
+
+TEST(InterleavedSearch, ThrowsOnIdleInfeasibleStart) {
+  Evaluator evaluator(tiny_system(), fast_options());
+  // Huge bursts blow the idle-time limit (64 warm tasks of the other app
+  // stretch h_max far past the 9 ms tidle of this fixture).
+  const InterleavedSchedule bad({{0, 64}, {1, 64}}, 2);
+  EXPECT_FALSE(evaluator.idle_feasible(bad));
+  EXPECT_THROW(interleaved_search(evaluator, bad, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

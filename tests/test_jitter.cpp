@@ -1,0 +1,117 @@
+/// \file test_jitter.cpp
+/// \brief Execution-time jitter tests: degenerate (no-jitter) trials match
+///        the nominal replay, determinism, early completion never
+///        destabilizes the fixture loop, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include "control/design.hpp"
+#include "core/jitter.hpp"
+
+namespace {
+
+using catsched::control::DesignOptions;
+using catsched::control::DesignSpec;
+using catsched::control::PhaseGains;
+using catsched::core::jitter_study;
+using catsched::core::JitterOptions;
+using catsched::core::JitterReport;
+using catsched::linalg::Matrix;
+using catsched::sched::AppWcet;
+using catsched::sched::PeriodicSchedule;
+
+struct Fixture {
+  std::vector<AppWcet> wcets;
+  PeriodicSchedule schedule;
+  DesignSpec spec;
+  PhaseGains gains;
+};
+
+const Fixture& fixture() {
+  static const Fixture fx = [] {
+    Fixture f;
+    f.wcets = {{660.0e-6, 165.0e-6}, {670.0e-6, 225.0e-6}};
+    f.schedule = PeriodicSchedule({2, 1});
+    f.spec.plant.a = Matrix{{0.0, 1.0}, {-12100.0, -44.0}};
+    f.spec.plant.b = Matrix{{0.0}, {3.0e6}};
+    f.spec.plant.c = Matrix{{1.0, 0.0}};
+    f.spec.umax = 80.0;
+    f.spec.r = 1000.0;
+    f.spec.smax = 25e-3;
+    const auto timing = derive_timing(f.wcets, f.schedule);
+    DesignOptions opts;
+    opts.pso.particles = 16;
+    opts.pso.iterations = 30;
+    opts.pso_restarts = 1;
+    opts.scale_budget_with_dims = false;
+    const auto res = catsched::control::design_controller(
+        f.spec, timing.apps[0].intervals, opts);
+    EXPECT_TRUE(res.feasible);
+    f.gains = res.gains;
+    return f;
+  }();
+  return fx;
+}
+
+TEST(Jitter, NoJitterTrialsEqualNominal) {
+  const auto& fx = fixture();
+  JitterOptions opts;
+  opts.bcet_fraction = 1.0;  // every instance takes exactly its WCET
+  opts.trials = 3;
+  opts.periods = 128;
+  const JitterReport r =
+      jitter_study(fx.wcets, fx.schedule, 0, fx.spec, fx.gains, opts);
+  EXPECT_EQ(r.settled, r.trials);
+  EXPECT_NEAR(r.mean_settling, r.nominal_settling, 1e-12);
+  EXPECT_NEAR(r.mean_abs_shift, 0.0, 1e-12);
+}
+
+TEST(Jitter, DeterministicForFixedSeed) {
+  const auto& fx = fixture();
+  JitterOptions opts;
+  opts.bcet_fraction = 0.6;
+  opts.trials = 10;
+  opts.seed = 99;
+  opts.periods = 128;
+  const auto r1 =
+      jitter_study(fx.wcets, fx.schedule, 0, fx.spec, fx.gains, opts);
+  const auto r2 =
+      jitter_study(fx.wcets, fx.schedule, 0, fx.spec, fx.gains, opts);
+  EXPECT_EQ(r1.settled, r2.settled);
+  EXPECT_DOUBLE_EQ(r1.mean_settling, r2.mean_settling);
+  EXPECT_DOUBLE_EQ(r1.worst_settling, r2.worst_settling);
+}
+
+TEST(Jitter, ModerateJitterKeepsTheLoopSettling) {
+  const auto& fx = fixture();
+  JitterOptions opts;
+  opts.bcet_fraction = 0.7;
+  opts.trials = 20;
+  opts.periods = 128;
+  const auto r =
+      jitter_study(fx.wcets, fx.schedule, 0, fx.spec, fx.gains, opts);
+  EXPECT_EQ(r.settled, r.trials);  // WCET design tolerates early finishes
+  EXPECT_GT(r.mean_abs_shift, 0.0);  // but the settling time does move
+  EXPECT_LE(r.best_settling, r.worst_settling);
+}
+
+TEST(Jitter, RejectsBadArguments) {
+  const auto& fx = fixture();
+  JitterOptions opts;
+  opts.bcet_fraction = 0.0;
+  EXPECT_THROW(
+      jitter_study(fx.wcets, fx.schedule, 0, fx.spec, fx.gains, opts),
+      std::invalid_argument);
+  opts.bcet_fraction = 0.5;
+  EXPECT_THROW(
+      jitter_study(fx.wcets, fx.schedule, 2, fx.spec, fx.gains, opts),
+      std::invalid_argument);
+  PhaseGains wrong = fx.gains;
+  wrong.k.push_back(wrong.k.front());
+  wrong.f.push_back(wrong.f.front());
+  EXPECT_THROW(
+      jitter_study(fx.wcets, fx.schedule, 0, fx.spec, wrong, opts),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+/// \file test_lqr.cpp
+/// \brief LQR tests: scalar DARE closed form, stabilization properties,
+///        periodic Riccati vs stationary limit, exact cost vs simulated sum,
+///        and the augmented-phase lifting used for delayed schedule phases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "control/c2d.hpp"
+#include "control/lqr.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/lu.hpp"
+
+namespace {
+
+using catsched::control::augment_phase;
+using catsched::control::augment_phases;
+using catsched::control::ContinuousLTI;
+using catsched::control::discretize_interval;
+using catsched::control::dlqr;
+using catsched::control::periodic_cost_matrix;
+using catsched::control::periodic_lqr;
+using catsched::control::periodic_regulation_cost;
+using catsched::control::PeriodicPhase;
+using catsched::control::PhaseDynamics;
+using catsched::linalg::Matrix;
+
+/// Scalar DARE p = q + a^2 p - a^2 p^2 b^2 / (r + p b^2) has the positive
+/// root of b^2 p^2 + (r - a^2 r - b^2 q) p - q r = 0.
+double scalar_dare(double a, double b, double q, double r) {
+  const double aa = b * b;
+  const double bb = r - a * a * r - b * b * q;
+  const double cc = -q * r;
+  return (-bb + std::sqrt(bb * bb - 4.0 * aa * cc)) / (2.0 * aa);
+}
+
+TEST(Dlqr, MatchesScalarClosedForm) {
+  const double a = 1.2, b = 0.7, q = 2.0, r = 0.5;
+  const auto res = dlqr(Matrix{{a}}, Matrix{{b}}, Matrix{{q}}, Matrix{{r}});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.p(0, 0), scalar_dare(a, b, q, r), 1e-9);
+  // K = (r + b p b)^{-1} b p a.
+  const double p = res.p(0, 0);
+  EXPECT_NEAR(res.k(0, 0), b * p * a / (r + b * p * b), 1e-9);
+}
+
+TEST(Dlqr, SolutionSatisfiesDareResidual) {
+  const Matrix a{{1.1, 0.3}, {-0.2, 0.95}};
+  const Matrix b{{0.0}, {1.0}};
+  const Matrix q = Matrix::identity(2);
+  const Matrix r{{0.25}};
+  const auto res = dlqr(a, b, q, r);
+  ASSERT_TRUE(res.converged);
+  const Matrix btp = b.transposed() * res.p;
+  const Matrix gram = r + btp * b;
+  const Matrix rhs = q + a.transposed() * res.p * a -
+                     a.transposed() * res.p * b *
+                         catsched::linalg::solve(gram, btp * a);
+  EXPECT_TRUE(catsched::linalg::approx_equal(res.p, rhs, 1e-8));
+}
+
+class DlqrStabilizationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DlqrStabilizationSweep, ClosedLoopIsSchurStableForUnstablePlants) {
+  std::mt19937 rng(300 + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 3;
+  // Controllable companion-form plant with (possibly) unstable poles.
+  Matrix a = Matrix::zero(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = 1.0;
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.5 * dist(rng);
+  Matrix b = Matrix::zero(n, 1);
+  b(n - 1, 0) = 1.0;
+  const auto res = dlqr(a, b, Matrix::identity(n), Matrix{{1.0}});
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(catsched::linalg::spectral_radius(a - b * res.k), 1.0);
+  // Cost-to-go must be symmetric positive semidefinite: check diagonal.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GE(res.p(i, i), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CompanionPlants, DlqrStabilizationSweep,
+                         ::testing::Range(0, 10));
+
+TEST(Dlqr, HeavierInputWeightShrinksGain) {
+  const Matrix a{{1.05, 0.1}, {0.0, 0.9}};
+  const Matrix b{{0.0}, {1.0}};
+  const Matrix q = Matrix::identity(2);
+  const auto cheap = dlqr(a, b, q, Matrix{{0.01}});
+  const auto pricey = dlqr(a, b, q, Matrix{{100.0}});
+  ASSERT_TRUE(cheap.converged);
+  ASSERT_TRUE(pricey.converged);
+  EXPECT_GT(cheap.k.norm(), pricey.k.norm());
+}
+
+TEST(Dlqr, ThrowsOnDimensionMismatch) {
+  EXPECT_THROW(dlqr(Matrix::identity(2), Matrix{{1.0}}, Matrix::identity(2),
+                    Matrix{{1.0}}),
+               std::invalid_argument);
+}
+
+TEST(AugmentPhase, ReproducesDelayedDynamics) {
+  // Double integrator, h = 10 ms, tau = 6 ms.
+  ContinuousLTI plant;
+  plant.a = Matrix{{0.0, 1.0}, {0.0, 0.0}};
+  plant.b = Matrix{{0.0}, {1.0}};
+  plant.c = Matrix{{1.0, 0.0}};
+  const PhaseDynamics ph = discretize_interval(plant, 0.010, 0.006);
+  const PeriodicPhase aug = augment_phase(ph);
+  ASSERT_EQ(aug.a.rows(), 3u);
+  ASSERT_EQ(aug.b.rows(), 3u);
+
+  // One augmented step must equal the component-wise delayed update.
+  const Matrix x0 = Matrix::column({0.3, -0.2});
+  const double u_prev = 0.7, u = -0.4;
+  const Matrix x1 = ph.ad * x0 + ph.b1 * u_prev + ph.b2 * u;
+  Matrix z0(3, 1);
+  z0.set_block(0, 0, x0);
+  z0(2, 0) = u_prev;
+  const Matrix z1 = aug.a * z0 + aug.b * Matrix{{u}};
+  EXPECT_NEAR(z1(0, 0), x1(0, 0), 1e-12);
+  EXPECT_NEAR(z1(1, 0), x1(1, 0), 1e-12);
+  EXPECT_NEAR(z1(2, 0), u, 1e-12);  // u_prev slot now holds the fresh input
+}
+
+TEST(PeriodicLqr, IdenticalPhasesReduceToStationaryDlqr) {
+  const Matrix a{{1.02, 0.2}, {0.0, 0.93}};
+  const Matrix b{{0.1}, {1.0}};
+  const Matrix q = Matrix::identity(2);
+  const Matrix r{{0.3}};
+  const auto stationary = dlqr(a, b, q, r);
+  const std::vector<PeriodicPhase> phases(3, PeriodicPhase{a, b});
+  const auto periodic = periodic_lqr(phases, q, r);
+  ASSERT_TRUE(periodic.converged);
+  for (const auto& k : periodic.k) {
+    EXPECT_TRUE(catsched::linalg::approx_equal(k, stationary.k, 1e-7));
+  }
+}
+
+TEST(PeriodicLqr, StabilizesSwitchedDelayedPhases) {
+  // Unstable first-order plant under two alternating intervals with delay.
+  ContinuousLTI plant;
+  plant.a = Matrix{{3.0}};
+  plant.b = Matrix{{1.0}};
+  plant.c = Matrix{{1.0}};
+  std::vector<PhaseDynamics> raw = {discretize_interval(plant, 0.05, 0.05),
+                                    discretize_interval(plant, 0.12, 0.05)};
+  const auto phases = augment_phases(raw);
+  const std::size_t nz = phases[0].a.rows();
+  const auto res = periodic_lqr(phases, Matrix::identity(nz), Matrix{{1.0}});
+  ASSERT_TRUE(res.converged);
+
+  // Monodromy of the closed loop must be Schur stable.
+  Matrix mono = Matrix::identity(nz);
+  for (std::size_t j = 0; j < phases.size(); ++j) {
+    mono = (phases[j].a - phases[j].b * res.k[j]) * mono;
+  }
+  EXPECT_LT(catsched::linalg::spectral_radius(mono), 1.0);
+}
+
+TEST(PeriodicCost, MatchesLongSimulatedSum) {
+  const Matrix a1{{0.9, 0.1}, {0.0, 0.8}};
+  const Matrix b1{{0.0}, {1.0}};
+  const Matrix a2{{0.7, 0.3}, {-0.1, 0.95}};
+  const Matrix b2{{0.5}, {0.5}};
+  const std::vector<PeriodicPhase> phases = {{a1, b1}, {a2, b2}};
+  const Matrix q = Matrix::identity(2);
+  const Matrix r{{0.4}};
+  const auto res = periodic_lqr(phases, q, r);
+  ASSERT_TRUE(res.converged);
+
+  const Matrix z0 = Matrix::column({1.0, -0.5});
+  const double exact = periodic_regulation_cost(phases, res.k, q, r, z0);
+
+  // Brute-force the series until it has visibly converged.
+  Matrix z = z0;
+  double sum = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t j = static_cast<std::size_t>(step) % phases.size();
+    const Matrix u = -(res.k[j] * z);
+    const Matrix xq = z.transposed() * q * z;
+    const Matrix ur = u.transposed() * r * u;
+    sum += xq(0, 0) + ur(0, 0);
+    z = phases[j].a * z + phases[j].b * u;
+  }
+  EXPECT_NEAR(exact, sum, 1e-6 * (1.0 + sum));
+}
+
+TEST(PeriodicCost, OptimalGainsBeatDetunedGains) {
+  const Matrix a{{1.1, 0.2}, {0.0, 0.9}};
+  const Matrix b{{0.0}, {1.0}};
+  const std::vector<PeriodicPhase> phases = {{a, b}, {a, b}};
+  const Matrix q = Matrix::identity(2);
+  const Matrix r{{1.0}};
+  const auto res = periodic_lqr(phases, q, r);
+  ASSERT_TRUE(res.converged);
+  const Matrix z0 = Matrix::column({1.0, 1.0});
+  const double opt = periodic_regulation_cost(phases, res.k, q, r, z0);
+
+  // Perturbed (still stabilizing) gains must not do better.
+  std::vector<Matrix> detuned = res.k;
+  for (auto& k : detuned) k *= 1.35;
+  const double worse = periodic_regulation_cost(phases, detuned, q, r, z0);
+  EXPECT_LE(opt, worse + 1e-12);
+}
+
+TEST(PeriodicCost, ThrowsOnUnstableLoop) {
+  const Matrix a{{2.0}};
+  const Matrix b{{1.0}};
+  const std::vector<PeriodicPhase> phases = {{a, b}};
+  const std::vector<Matrix> zero_gain = {Matrix{{0.0}}};
+  EXPECT_THROW(periodic_cost_matrix(phases, zero_gain, Matrix{{1.0}},
+                                    Matrix{{1.0}}),
+               std::domain_error);
+}
+
+}  // namespace

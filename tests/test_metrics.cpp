@@ -1,0 +1,143 @@
+/// \file test_metrics.cpp
+/// \brief Step-metric tests against analytically known trajectories
+///        (first/second-order responses, hand-built traces) and argument
+///        validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/metrics.hpp"
+
+namespace {
+
+using catsched::control::step_metrics;
+using catsched::control::StepMetrics;
+
+/// Sampled first-order response y = r (1 - e^{-t/tau}).
+std::pair<std::vector<double>, std::vector<double>> first_order(
+    double r, double tau, double horizon, double dt) {
+  std::vector<double> t, y;
+  for (double s = 0.0; s <= horizon; s += dt) {
+    t.push_back(s);
+    y.push_back(r * (1.0 - std::exp(-s / tau)));
+  }
+  return {t, y};
+}
+
+TEST(StepMetrics, FirstOrderRiseTimeMatchesTheory) {
+  // 10-90% rise time of a first-order lag is tau * ln 9.
+  const double tau = 0.2;
+  auto [t, y] = first_order(1.0, tau, 3.0, 1e-4);
+  const StepMetrics m = step_metrics(t, y, 1.0);
+  EXPECT_TRUE(m.rise_reached);
+  EXPECT_NEAR(m.rise_time, tau * std::log(9.0), 1e-3);
+  EXPECT_NEAR(m.overshoot_pct, 0.0, 1e-9);  // monotone response
+  EXPECT_NEAR(m.undershoot_pct, 0.0, 1e-9);
+  EXPECT_LT(m.steady_state_error, 1e-5);
+}
+
+TEST(StepMetrics, FirstOrderIaeMatchesClosedForm) {
+  // IAE of r(1 - e^{-t/tau}) over [0, inf) is r * tau.
+  const double tau = 0.1, r = 2.0;
+  auto [t, y] = first_order(r, tau, 2.5, 1e-4);
+  const StepMetrics m = step_metrics(t, y, r);
+  EXPECT_NEAR(m.iae, r * tau, 1e-3);
+  // ISE closed form: r^2 tau / 2.
+  EXPECT_NEAR(m.ise, r * r * tau / 2.0, 1e-3);
+}
+
+TEST(StepMetrics, DetectsOvershootOfDampedSecondOrder) {
+  // y = 1 - e^{-zeta wn t} (cos(wd t) + zeta/sqrt(1-zeta^2) sin(wd t)),
+  // peak overshoot = exp(-pi zeta / sqrt(1 - zeta^2)).
+  const double zeta = 0.4, wn = 10.0;
+  const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+  std::vector<double> t, y;
+  for (double s = 0.0; s <= 3.0; s += 1e-4) {
+    t.push_back(s);
+    y.push_back(1.0 - std::exp(-zeta * wn * s) *
+                          (std::cos(wd * s) +
+                           zeta / std::sqrt(1.0 - zeta * zeta) *
+                               std::sin(wd * s)));
+  }
+  const StepMetrics m = step_metrics(t, y, 1.0);
+  const double theory = 100.0 * std::exp(-M_PI * zeta /
+                                         std::sqrt(1.0 - zeta * zeta));
+  EXPECT_NEAR(m.overshoot_pct, theory, 0.1);
+  // Peak time = pi / wd.
+  EXPECT_NEAR(m.peak_time, M_PI / wd, 1e-3);
+}
+
+TEST(StepMetrics, NegativeStepIsMeasuredSymmetrically) {
+  // Step from 1 down to 0: same first-order shape mirrored.
+  const double tau = 0.2;
+  std::vector<double> t, y;
+  for (double s = 0.0; s <= 3.0; s += 1e-4) {
+    t.push_back(s);
+    y.push_back(std::exp(-s / tau));
+  }
+  const StepMetrics m = step_metrics(t, y, 0.0, 1.0);
+  EXPECT_TRUE(m.rise_reached);
+  EXPECT_NEAR(m.rise_time, tau * std::log(9.0), 1e-3);
+  EXPECT_NEAR(m.overshoot_pct, 0.0, 1e-9);
+}
+
+TEST(StepMetrics, UndershootOfNonMinimumPhaseResponse) {
+  // Hand-built trace that dips to -0.2 before rising to 1.
+  const std::vector<double> t{0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::vector<double> y{0.0, -0.2, 0.1, 0.6, 0.95, 1.0};
+  const StepMetrics m = step_metrics(t, y, 1.0);
+  EXPECT_NEAR(m.undershoot_pct, 20.0, 1e-9);
+}
+
+TEST(StepMetrics, UnreachedRiseReportsInfinity) {
+  const std::vector<double> t{0.0, 0.1, 0.2};
+  const std::vector<double> y{0.0, 0.1, 0.2};  // never reaches 0.9
+  const StepMetrics m = step_metrics(t, y, 1.0);
+  EXPECT_FALSE(m.rise_reached);
+  EXPECT_TRUE(std::isinf(m.rise_time));
+  EXPECT_NEAR(m.steady_state_error, 0.8, 1e-12);
+}
+
+TEST(StepMetrics, ItaeWeightsLateErrorsMore) {
+  // Two traces with the same IAE but the error concentrated early vs late:
+  // ITAE must rank the late-error trace worse.
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> early{0.0, 1.0, 1.0, 1.0};
+  const std::vector<double> late{1.0, 1.0, 0.0, 1.0};
+  const auto m_early = step_metrics(t, early, 1.0, 0.0);
+  const auto m_late = step_metrics(t, late, 1.0, 0.5);
+  EXPECT_GT(m_late.itae, m_early.itae);
+}
+
+TEST(StepMetrics, RejectsBadArguments) {
+  const std::vector<double> t{0.0, 0.1};
+  const std::vector<double> y{0.0, 1.0};
+  EXPECT_THROW(step_metrics(t, {0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(step_metrics({0.0}, {0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(step_metrics({0.1, 0.1}, y, 1.0), std::invalid_argument);
+  EXPECT_THROW(step_metrics(t, y, 0.0, 0.0), std::invalid_argument);
+}
+
+class MetricsBandSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricsBandSweep, FirstOrderMetricsScaleWithReference) {
+  // All normalized metrics must be invariant to the reference scale.
+  const double scale = GetParam();
+  auto [t1, y1] = first_order(1.0, 0.15, 2.0, 1e-3);
+  auto [t2, y2] = first_order(scale, 0.15, 2.0, 1e-3);
+  const auto m1 = step_metrics(t1, y1, 1.0);
+  const auto m2 = step_metrics(t2, y2, scale);
+  EXPECT_NEAR(m1.rise_time, m2.rise_time, 1e-9);
+  EXPECT_NEAR(m1.overshoot_pct, m2.overshoot_pct, 1e-9);
+  EXPECT_NEAR(m1.steady_state_error, m2.steady_state_error, 1e-9);
+  // IAE scales linearly, ISE quadratically.
+  EXPECT_NEAR(m2.iae, scale * m1.iae, 1e-6 * scale);
+  EXPECT_NEAR(m2.ise, scale * scale * m1.ise, 1e-6 * scale * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MetricsBandSweep,
+                         ::testing::Values(0.5, 2.0, 10.0, 120.0));
+
+}  // namespace

@@ -1,0 +1,175 @@
+/// \file test_mimo.cpp
+/// \brief MIMO extension tests: discretization consistency with the SISO
+///        path, steady-state targets, LQR tracking of a two-input
+///        two-output plant under schedule-induced switching.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/c2d.hpp"
+#include "control/mimo.hpp"
+#include "linalg/eig.hpp"
+
+namespace {
+
+using catsched::control::ContinuousLTI;
+using catsched::control::design_mimo_controller;
+using catsched::control::discretize_interval;
+using catsched::control::discretize_mimo;
+using catsched::control::MimoContinuous;
+using catsched::control::MimoDesignOptions;
+using catsched::control::simulate_mimo;
+using catsched::control::steady_state_target;
+using catsched::linalg::Matrix;
+using catsched::sched::Interval;
+
+/// Two decoupled first-order lags with cross-coupling eps.
+MimoContinuous coupled_tanks(double eps) {
+  MimoContinuous p;
+  p.a = Matrix{{-1.0, eps}, {eps, -1.5}};
+  p.b = Matrix{{1.0, 0.0}, {0.0, 0.8}};
+  p.c = Matrix::identity(2);
+  return p;
+}
+
+TEST(MimoDiscretize, MatchesSisoPathForSingleInput) {
+  // A SISO plant pushed through both the SISO and the MIMO discretizer
+  // must produce identical matrices.
+  ContinuousLTI siso;
+  siso.a = Matrix{{0.0, 1.0}, {-2.0, -3.0}};
+  siso.b = Matrix{{0.0}, {1.0}};
+  siso.c = Matrix{{1.0, 0.0}};
+  MimoContinuous mimo;
+  mimo.a = siso.a;
+  mimo.b = siso.b;
+  mimo.c = siso.c;
+
+  const double h = 0.02, tau = 0.012;
+  const auto ph_siso = discretize_interval(siso, h, tau);
+  const auto ph_mimo = discretize_mimo(mimo, h, tau);
+  EXPECT_TRUE(catsched::linalg::approx_equal(ph_siso.ad, ph_mimo.ad, 1e-12));
+  EXPECT_TRUE(catsched::linalg::approx_equal(ph_siso.b1, ph_mimo.b1, 1e-12));
+  EXPECT_TRUE(catsched::linalg::approx_equal(ph_siso.b2, ph_mimo.b2, 1e-12));
+}
+
+TEST(MimoDiscretize, DelaySplitsInputEffectExactly) {
+  // B1 + B2 must equal the full-interval ZOH input matrix for any tau.
+  const MimoContinuous p = coupled_tanks(0.3);
+  const double h = 0.05;
+  const auto full = discretize_mimo(p, h, 0.0);
+  for (double tau : {0.0, 0.01, 0.025, 0.05}) {
+    const auto ph = discretize_mimo(p, h, tau);
+    EXPECT_TRUE(catsched::linalg::approx_equal(ph.b1 + ph.b2,
+                                               full.b1 + full.b2, 1e-12))
+        << "tau = " << tau;
+  }
+}
+
+TEST(MimoDiscretize, RejectsBadInterval) {
+  const MimoContinuous p = coupled_tanks(0.0);
+  EXPECT_THROW(discretize_mimo(p, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(discretize_mimo(p, 0.01, 0.02), std::invalid_argument);
+  EXPECT_THROW(discretize_mimo(p, 0.01, -0.001), std::invalid_argument);
+}
+
+TEST(MimoTarget, HoldsReferenceAtEquilibrium) {
+  const MimoContinuous p = coupled_tanks(0.3);
+  const Matrix r = Matrix::column({1.0, -0.5});
+  const auto target = steady_state_target(p, r);
+  // A x + B u = 0 and C x = r.
+  EXPECT_LT((p.a * target.x + p.b * target.u).max_abs(), 1e-9);
+  EXPECT_LT((p.c * target.x - r).max_abs(), 1e-9);
+}
+
+TEST(MimoTarget, ContinuousEquilibriumIsExactForEveryDiscretization) {
+  const MimoContinuous p = coupled_tanks(0.4);
+  const Matrix r = Matrix::column({0.7, 0.2});
+  const auto target = steady_state_target(p, r);
+  for (double h : {0.001, 0.02, 0.3}) {
+    for (double tau_frac : {0.0, 0.5, 1.0}) {
+      const auto ph = discretize_mimo(p, h, tau_frac * h);
+      const Matrix x_next =
+          ph.ad * target.x + ph.b1 * target.u + ph.b2 * target.u;
+      EXPECT_LT((x_next - target.x).max_abs(), 1e-9)
+          << "h=" << h << " tau_frac=" << tau_frac;
+    }
+  }
+}
+
+TEST(MimoTarget, ThrowsWhenUnreachable) {
+  // Output channel with no input authority at DC: equilibrium forces
+  // x2 = 0 (row 2 of A x + B u = 0 reads -x2 = 0) while C x = x2 must be 1.
+  MimoContinuous p;
+  p.a = Matrix{{-1.0, 0.0}, {0.0, -1.0}};
+  p.b = Matrix{{1.0}, {0.0}};
+  p.c = Matrix{{0.0, 1.0}};
+  EXPECT_THROW(steady_state_target(p, Matrix::column({1.0})),
+               std::domain_error);
+}
+
+class MimoTrackingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MimoTrackingSweep, TracksBothChannelsUnderSwitchedTiming) {
+  const MimoContinuous p = coupled_tanks(GetParam());
+  // Schedule-style non-uniform intervals with delay = execution time.
+  const std::vector<Interval> intervals = {{0.020, 0.020, false},
+                                           {0.012, 0.012, true},
+                                           {0.046, 0.012, true}};
+  const Matrix r = Matrix::column({1.0, 0.6});
+  const auto ctrl = design_mimo_controller(p, intervals, r);
+  ASSERT_TRUE(ctrl.converged);
+  const auto sim = simulate_mimo(p, intervals, ctrl, r, 8.0);
+  EXPECT_TRUE(sim.settled) << "coupling " << GetParam();
+  EXPECT_LT(sim.settling_time, 8.0);
+  // Final outputs on both channels inside the band.
+  const auto& y_end = sim.y.back();
+  EXPECT_NEAR(y_end[0], 1.0, 0.02);
+  EXPECT_NEAR(y_end[1], 0.6, 0.02 * 0.6 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Couplings, MimoTrackingSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8));
+
+TEST(MimoDesign, HigherInputWeightLowersPeakInput) {
+  const MimoContinuous p = coupled_tanks(0.3);
+  const std::vector<Interval> intervals = {{0.02, 0.02, false},
+                                           {0.05, 0.012, true}};
+  const Matrix r = Matrix::column({1.0, 1.0});
+  MimoDesignOptions cheap;
+  cheap.r_input = 0.01;
+  MimoDesignOptions pricey;
+  pricey.r_input = 10.0;
+  const auto sim_cheap =
+      simulate_mimo(p, intervals, design_mimo_controller(p, intervals, r,
+                                                         cheap),
+                    r, 6.0);
+  const auto sim_pricey =
+      simulate_mimo(p, intervals, design_mimo_controller(p, intervals, r,
+                                                         pricey),
+                    r, 6.0);
+  EXPECT_GT(sim_cheap.u_max_abs, sim_pricey.u_max_abs);
+}
+
+TEST(MimoSim, RejectsMismatchedGainCount) {
+  const MimoContinuous p = coupled_tanks(0.1);
+  const std::vector<Interval> intervals = {{0.02, 0.02, false}};
+  const Matrix r = Matrix::column({1.0, 1.0});
+  auto ctrl = design_mimo_controller(p, intervals, r);
+  ctrl.k.push_back(ctrl.k.front());  // now 2 gains vs 1 interval
+  EXPECT_THROW(simulate_mimo(p, intervals, ctrl, r, 1.0),
+               std::invalid_argument);
+}
+
+TEST(MimoValidate, CatchesDimensionErrors) {
+  MimoContinuous p;
+  p.a = Matrix{{1.0, 0.0}};  // not square
+  p.b = Matrix{{1.0}, {1.0}};
+  p.c = Matrix{{1.0, 0.0}};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = coupled_tanks(0.0);
+  p.b = Matrix(1, 1, 1.0);  // wrong row count
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+/// \file test_observer.cpp
+/// \brief Observer tests: dual-Ackermann pole placement of the error
+///        dynamics, deadbeat convergence in l steps, output-feedback
+///        tracking under switched timing, and the separation principle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/design.hpp"
+#include "control/observer.hpp"
+#include "linalg/eig.hpp"
+
+namespace {
+
+using catsched::control::ContinuousLTI;
+using catsched::control::design_deadbeat_observer;
+using catsched::control::design_observer;
+using catsched::control::design_switched_observer;
+using catsched::control::discretize_interval;
+using catsched::control::discretize_phases;
+using catsched::control::output_feedback_spectral_radius;
+using catsched::control::PhaseDynamics;
+using catsched::control::PhaseGains;
+using catsched::control::simulate_output_feedback;
+using catsched::linalg::Matrix;
+using catsched::sched::Interval;
+
+ContinuousLTI servo_plant() {
+  ContinuousLTI p;
+  p.a = Matrix{{0.0, 1.0}, {0.0, -10.0}};
+  p.b = Matrix{{0.0}, {200.0}};
+  p.c = Matrix{{1.0, 0.0}};
+  return p;
+}
+
+TEST(Observer, PlacesErrorPolesExactly) {
+  const auto ph = discretize_interval(servo_plant(), 0.01, 0.01);
+  const Matrix c{{1.0, 0.0}};
+  const std::vector<std::complex<double>> want{{0.3, 0.0}, {0.5, 0.0}};
+  const Matrix l = design_observer(ph.ad, c, want);
+  const auto got = catsched::linalg::eigenvalues(ph.ad - l * c);
+  // Both requested poles must appear (order-free match).
+  for (const auto& w : want) {
+    bool found = false;
+    for (const auto& g : got) {
+      if (std::abs(g - w) < 1e-8) found = true;
+    }
+    EXPECT_TRUE(found) << "missing pole " << w.real();
+  }
+}
+
+TEST(Observer, DeadbeatErrorVanishesInOrderSteps) {
+  const auto ph = discretize_interval(servo_plant(), 0.01, 0.01);
+  const Matrix c{{1.0, 0.0}};
+  const Matrix l = design_deadbeat_observer(ph.ad, c);
+  const Matrix acl = ph.ad - l * c;
+  // Nilpotency: Acl^l = 0 for deadbeat.
+  EXPECT_LT((acl * acl).max_abs(), 1e-8);
+}
+
+TEST(Observer, ThrowsForUnobservablePair) {
+  // C aligned with an invariant subspace: x2 unobservable from y = x1 when
+  // the (1,2) coupling is zero.
+  const Matrix ad{{0.5, 0.0}, {0.0, 0.7}};
+  const Matrix c{{1.0, 0.0}};
+  EXPECT_THROW(
+      design_observer(ad, c, {{0.1, 0.0}, {0.2, 0.0}}),
+      std::domain_error);
+}
+
+TEST(Observer, SwitchedGainsStabilizeErrorMonodromy) {
+  const auto plant = servo_plant();
+  const std::vector<Interval> intervals = {{0.010, 0.010, false},
+                                           {0.006, 0.006, true},
+                                           {0.030, 0.006, true}};
+  const auto phases = discretize_phases(plant, intervals);
+  const auto ls = design_switched_observer(phases, plant.c, 0.2);
+  ASSERT_EQ(ls.size(), phases.size());
+  Matrix mono = Matrix::identity(2);
+  for (std::size_t j = 0; j < phases.size(); ++j) {
+    mono = (phases[j].ad - ls[j] * plant.c) * mono;
+  }
+  EXPECT_LT(catsched::linalg::spectral_radius(mono), 1.0);
+}
+
+/// Design state-feedback gains for the switched servo timing (small PSO
+/// budget keeps the test fast; quality does not matter here, stability does).
+PhaseGains quick_gains(const ContinuousLTI& plant,
+                       const std::vector<Interval>& intervals) {
+  catsched::control::DesignSpec spec;
+  spec.plant = plant;
+  spec.umax = 50.0;
+  spec.r = 0.3;
+  spec.smax = 0.5;
+  catsched::control::DesignOptions opts;
+  opts.pso.particles = 24;
+  opts.pso.iterations = 40;
+  opts.scale_budget_with_dims = false;
+  opts.pso_restarts = 1;
+  const auto res = catsched::control::design_controller(spec, intervals, opts);
+  EXPECT_TRUE(res.feasible);
+  return res.gains;
+}
+
+TEST(OutputFeedback, TracksReferenceWithBlindObserverStart) {
+  const auto plant = servo_plant();
+  const std::vector<Interval> intervals = {{0.010, 0.010, false},
+                                           {0.006, 0.006, true},
+                                           {0.030, 0.006, true}};
+  const auto phases = discretize_phases(plant, intervals);
+  const auto gains = quick_gains(plant, intervals);
+  const auto ls = design_switched_observer(phases, plant.c, 0.2);
+  ASSERT_LT(catsched::control::observer_error_spectral_radius(phases, plant.c,
+                                                              ls),
+            1.0);
+
+  const Matrix x0 = Matrix::column({0.05, -0.4});  // true state unknown
+  const auto sim = simulate_output_feedback(phases, plant.c, gains, ls, x0,
+                                            0.0, 0.3, 0.8);
+  EXPECT_TRUE(sim.settled);
+  // The estimation error must collapse far below its initial value.
+  EXPECT_LT(sim.final_est_err, 1e-6 * (1.0 + sim.est_err.front()));
+}
+
+TEST(Observer, PerPhaseDeadbeatDoesNotComposeToDeadbeat) {
+  // Documented pitfall: each (Ad_j - L_j C) nilpotent does NOT make their
+  // product nilpotent. On this timing the per-phase-deadbeat switched
+  // observer's error monodromy has spectral radius ~0.85 -- the error decays
+  // only ~15% per period instead of vanishing in l steps, so "deadbeat"
+  // gains can converge *slower* than modest stable pole radii. This is why
+  // design_switched_observer's contract requires a monodromy check.
+  const auto plant = servo_plant();
+  const std::vector<Interval> intervals = {{0.010, 0.010, false},
+                                           {0.006, 0.006, true},
+                                           {0.030, 0.006, true}};
+  const auto phases = discretize_phases(plant, intervals);
+  const auto ls = design_switched_observer(phases, plant.c, 0.0);
+  for (std::size_t j = 0; j < phases.size(); ++j) {
+    const Matrix acl = phases[j].ad - ls[j] * plant.c;
+    EXPECT_LT((acl * acl).max_abs(), 1e-6);  // per-phase nilpotent
+  }
+  const double rho =
+      catsched::control::observer_error_spectral_radius(phases, plant.c, ls);
+  EXPECT_GT(rho, 0.5);  // ... yet the period map is nowhere near deadbeat
+  // A modest stable pole radius composes into a *faster* period map here.
+  const auto ls_stable = design_switched_observer(phases, plant.c, 0.2);
+  EXPECT_LT(catsched::control::observer_error_spectral_radius(phases, plant.c,
+                                                              ls_stable),
+            rho);
+}
+
+TEST(OutputFeedback, SeparationHoldsLoopIsStable) {
+  const auto plant = servo_plant();
+  const std::vector<Interval> intervals = {{0.010, 0.010, false},
+                                           {0.036, 0.006, true}};
+  const auto phases = discretize_phases(plant, intervals);
+  const auto gains = quick_gains(plant, intervals);
+  const auto ls = design_switched_observer(phases, plant.c, 0.3);
+  const double rho =
+      output_feedback_spectral_radius(phases, plant.c, gains, ls);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(OutputFeedback, UnstableObserverBreaksTheLoop) {
+  const auto plant = servo_plant();
+  const std::vector<Interval> intervals = {{0.010, 0.010, false},
+                                           {0.036, 0.006, true}};
+  const auto phases = discretize_phases(plant, intervals);
+  const auto gains = quick_gains(plant, intervals);
+  // Deliberately destabilizing observer gain.
+  std::vector<Matrix> ls(phases.size(), Matrix{{-40.0}, {-4000.0}});
+  const double rho =
+      output_feedback_spectral_radius(phases, plant.c, gains, ls);
+  EXPECT_GT(rho, 1.0);
+}
+
+TEST(OutputFeedback, RejectsMismatchedCounts) {
+  const auto plant = servo_plant();
+  const std::vector<Interval> intervals = {{0.010, 0.010, false}};
+  const auto phases = discretize_phases(plant, intervals);
+  PhaseGains gains;
+  gains.k = {Matrix{{0.0, 0.0}}};
+  gains.f = {0.0};
+  const std::vector<Matrix> ls;  // empty
+  EXPECT_THROW(simulate_output_feedback(phases, plant.c, gains, ls,
+                                        Matrix::column({0.0, 0.0}), 0.0, 1.0,
+                                        1.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+/// \file test_robustness.cpp
+/// \brief Robustness-study tests: zero-spread degenerates to the nominal
+///        evaluation, determinism under a fixed seed, monotone degradation
+///        with spread, and the stability-margin search.
+
+#include <gtest/gtest.h>
+
+#include "control/design.hpp"
+#include "control/robustness.hpp"
+
+namespace {
+
+using catsched::control::ContinuousLTI;
+using catsched::control::DesignOptions;
+using catsched::control::DesignSpec;
+using catsched::control::PhaseGains;
+using catsched::control::robustness_study;
+using catsched::control::RobustnessOptions;
+using catsched::control::RobustnessReport;
+using catsched::control::stability_margin;
+using catsched::linalg::Matrix;
+using catsched::sched::Interval;
+
+struct Fixture {
+  DesignSpec spec;
+  std::vector<Interval> intervals;
+  PhaseGains gains;
+};
+
+/// One shared design (PSO is the slow part; run it once for the suite).
+const Fixture& fixture() {
+  static const Fixture fx = [] {
+    Fixture f;
+    f.spec.plant.a = Matrix{{0.0, 1.0}, {0.0, -10.0}};
+    f.spec.plant.b = Matrix{{0.0}, {200.0}};
+    f.spec.plant.c = Matrix{{1.0, 0.0}};
+    f.spec.umax = 50.0;
+    f.spec.r = 0.3;
+    f.spec.smax = 0.5;
+    f.intervals = {{0.010, 0.010, false}, {0.026, 0.006, true}};
+    DesignOptions opts;
+    opts.pso.particles = 24;
+    opts.pso.iterations = 40;
+    opts.scale_budget_with_dims = false;
+    opts.pso_restarts = 1;
+    const auto res =
+        catsched::control::design_controller(f.spec, f.intervals, opts);
+    f.gains = res.gains;
+    return f;
+  }();
+  return fx;
+}
+
+TEST(Robustness, ZeroSpreadReproducesNominal) {
+  const auto& fx = fixture();
+  RobustnessOptions opts;
+  opts.relative_spread = 0.0;
+  opts.trials = 5;
+  const RobustnessReport r =
+      robustness_study(fx.spec, fx.intervals, fx.gains, opts);
+  EXPECT_EQ(r.stable, r.trials);
+  EXPECT_EQ(r.settled, r.trials);
+  EXPECT_NEAR(r.worst_settling, r.nominal_settling, 1e-12);
+  EXPECT_NEAR(r.mean_settling, r.nominal_settling, 1e-12);
+}
+
+TEST(Robustness, DeterministicForFixedSeed) {
+  const auto& fx = fixture();
+  RobustnessOptions opts;
+  opts.relative_spread = 0.08;
+  opts.trials = 30;
+  opts.seed = 77;
+  const auto r1 = robustness_study(fx.spec, fx.intervals, fx.gains, opts);
+  const auto r2 = robustness_study(fx.spec, fx.intervals, fx.gains, opts);
+  EXPECT_EQ(r1.stable, r2.stable);
+  EXPECT_EQ(r1.settled, r2.settled);
+  EXPECT_DOUBLE_EQ(r1.worst_settling, r2.worst_settling);
+  ASSERT_EQ(r1.settling_samples.size(), r2.settling_samples.size());
+}
+
+TEST(Robustness, SmallSpreadKeepsLoopStable) {
+  const auto& fx = fixture();
+  RobustnessOptions opts;
+  opts.relative_spread = 0.02;
+  opts.trials = 50;
+  const auto r = robustness_study(fx.spec, fx.intervals, fx.gains, opts);
+  EXPECT_EQ(r.stable, r.trials);
+  EXPECT_GT(r.settled, 45);  // nearly all trials still settle
+  EXPECT_GE(r.worst_settling, r.nominal_settling - 1e-12);
+}
+
+TEST(Robustness, DegradationGrowsWithSpread) {
+  const auto& fx = fixture();
+  RobustnessOptions small;
+  small.relative_spread = 0.02;
+  small.trials = 60;
+  RobustnessOptions large = small;
+  large.relative_spread = 0.25;
+  const auto rs = robustness_study(fx.spec, fx.intervals, fx.gains, small);
+  const auto rl = robustness_study(fx.spec, fx.intervals, fx.gains, large);
+  // Larger spread cannot improve the worst case or the deadline count.
+  EXPECT_GE(rs.deadline_fraction(), rl.deadline_fraction());
+  EXPECT_LE(rs.worst_settling, rl.worst_settling + 1e-12);
+}
+
+TEST(Robustness, StabilityMarginIsPositiveAndBounded) {
+  const auto& fx = fixture();
+  RobustnessOptions opts;
+  opts.trials = 25;
+  const double margin = stability_margin(fx.spec, fx.intervals, fx.gains,
+                                         opts, 0.5, 0.02);
+  EXPECT_GT(margin, 0.0);
+  EXPECT_LE(margin, 0.5);
+}
+
+}  // namespace

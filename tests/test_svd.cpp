@@ -1,0 +1,142 @@
+/// \file test_svd.cpp
+/// \brief SVD tests: reconstruction, orthonormality, known spectra, rank and
+///        pseudo-inverse properties on random and structured matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/svd.hpp"
+
+namespace {
+
+using catsched::linalg::Matrix;
+using catsched::linalg::pinv;
+using catsched::linalg::singular_values;
+using catsched::linalg::svd;
+using catsched::linalg::Svd;
+
+Matrix random_matrix(std::mt19937& rng, std::size_t r, std::size_t c,
+                     double scale = 1.0) {
+  std::uniform_real_distribution<double> dist(-scale, scale);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = dist(rng);
+  }
+  return m;
+}
+
+Matrix reconstruct(const Svd& d) {
+  Matrix s = Matrix::zero(d.sigma.size(), d.sigma.size());
+  for (std::size_t i = 0; i < d.sigma.size(); ++i) s(i, i) = d.sigma[i];
+  return d.u * s * d.v.transposed();
+}
+
+bool has_orthonormal_columns(const Matrix& m, double tol = 1e-9) {
+  const Matrix g = m.transposed() * m;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      const double want = (i == j) ? 1.0 : 0.0;
+      if (std::abs(g(i, j) - want) > tol) return false;
+    }
+  }
+  return true;
+}
+
+struct Shape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class SvdShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SvdShapeSweep, ReconstructsAndIsOrthonormal) {
+  std::mt19937 rng(GetParam().rows * 31 + GetParam().cols);
+  const Matrix a = random_matrix(rng, GetParam().rows, GetParam().cols, 2.0);
+  const Svd d = svd(a);
+  ASSERT_EQ(d.sigma.size(), std::min(a.rows(), a.cols()));
+  EXPECT_TRUE(catsched::linalg::approx_equal(reconstruct(d), a, 1e-8));
+  EXPECT_TRUE(has_orthonormal_columns(d.u));
+  EXPECT_TRUE(has_orthonormal_columns(d.v));
+  for (std::size_t i = 0; i + 1 < d.sigma.size(); ++i) {
+    EXPECT_GE(d.sigma[i], d.sigma[i + 1]);  // sorted descending
+  }
+  for (double s : d.sigma) EXPECT_GE(s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeSweep,
+                         ::testing::Values(Shape{1, 1}, Shape{2, 2},
+                                           Shape{3, 3}, Shape{5, 5},
+                                           Shape{4, 2}, Shape{2, 4},
+                                           Shape{7, 3}, Shape{3, 7},
+                                           Shape{8, 8}, Shape{1, 6},
+                                           Shape{6, 1}));
+
+TEST(Svd, DiagonalMatrixSpectrumIsAbsoluteDiagonal) {
+  const Matrix a = Matrix::diagonal({3.0, -5.0, 0.0, 1.0});
+  const auto s = singular_values(a);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_NEAR(s[0], 5.0, 1e-12);
+  EXPECT_NEAR(s[1], 3.0, 1e-12);
+  EXPECT_NEAR(s[2], 1.0, 1e-12);
+  EXPECT_NEAR(s[3], 0.0, 1e-12);
+}
+
+TEST(Svd, RankDetectsDeficiency) {
+  // Rank-1 outer product.
+  const Matrix u = Matrix::column({1.0, 2.0, 3.0});
+  const Matrix a = u * u.transposed();
+  EXPECT_EQ(svd(a).rank(), 1u);
+  EXPECT_EQ(svd(Matrix::identity(3)).rank(), 3u);
+  EXPECT_EQ(svd(Matrix::zero(3, 3)).rank(), 0u);
+}
+
+TEST(Svd, CondOfIdentityIsOneAndSingularIsInf) {
+  EXPECT_DOUBLE_EQ(svd(Matrix::identity(4)).cond(), 1.0);
+  const Matrix u = Matrix::column({1.0, 1.0});
+  EXPECT_TRUE(std::isinf(svd(u * u.transposed()).cond()));
+}
+
+TEST(Svd, Norm2MatchesKnownValue) {
+  // [[3,0],[4,0]] has sigma = {5, 0}.
+  const Matrix a{{3.0, 0.0}, {4.0, 0.0}};
+  EXPECT_NEAR(svd(a).norm2(), 5.0, 1e-12);
+}
+
+class PinvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PinvSweep, SatisfiesMoorePenroseConditions) {
+  std::mt19937 rng(200 + static_cast<unsigned>(GetParam()));
+  const std::size_t r = 2 + static_cast<std::size_t>(GetParam()) % 4;
+  const std::size_t c = 2 + static_cast<std::size_t>(GetParam() / 2) % 4;
+  const Matrix a = random_matrix(rng, r, c);
+  const Matrix p = pinv(a);
+  ASSERT_EQ(p.rows(), c);
+  ASSERT_EQ(p.cols(), r);
+  EXPECT_TRUE(catsched::linalg::approx_equal(a * p * a, a, 1e-8));
+  EXPECT_TRUE(catsched::linalg::approx_equal(p * a * p, p, 1e-8));
+  EXPECT_TRUE(
+      catsched::linalg::approx_equal((a * p).transposed(), a * p, 1e-8));
+  EXPECT_TRUE(
+      catsched::linalg::approx_equal((p * a).transposed(), p * a, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, PinvSweep, ::testing::Range(0, 10));
+
+TEST(Pinv, InvertsSquareNonsingular) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Matrix p = pinv(a);
+  EXPECT_TRUE(
+      catsched::linalg::approx_equal(a * p, Matrix::identity(2), 1e-10));
+}
+
+TEST(Pinv, LeastSquaresSolutionOfTallSystem) {
+  // Overdetermined consistent system: pinv must recover the exact solution.
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const Matrix x_true = Matrix::column({2.0, -1.0});
+  const Matrix b = a * x_true;
+  EXPECT_TRUE(catsched::linalg::approx_equal(pinv(a) * b, x_true, 1e-10));
+}
+
+}  // namespace

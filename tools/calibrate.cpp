@@ -1,0 +1,36 @@
+// Dev calibration tool: evaluate the case study under selected schedules,
+// print settling times vs the paper's Table III.
+#include <cstdio>
+#include "core/case_study.hpp"
+#include "core/codesign.hpp"
+
+using namespace catsched;
+
+int main(int argc, char** argv) {
+  core::SystemModel sys = core::date18_case_study();
+  core::Evaluator ev(sys, core::date18_design_options());
+  const auto& w = ev.wcets();
+  std::printf("WCET C1 %.2f/%.2f us  C2 %.2f/%.2f  C3 %.2f/%.2f\n",
+              w[0].cold_seconds*1e6, w[0].warm_seconds*1e6,
+              w[1].cold_seconds*1e6, w[1].warm_seconds*1e6,
+              w[2].cold_seconds*1e6, w[2].warm_seconds*1e6);
+  std::vector<std::vector<int>> scheds = {{1,1,1},{3,2,3}};
+  if (argc > 1 && std::string(argv[1]) == "sweep") {
+    scheds = {{1,1,1},{2,2,2},{3,2,3},{2,2,3},{3,2,2},{4,2,3},{3,3,3},{3,2,4},{4,2,2},{1,2,1},{2,1,2},{5,2,3},{3,1,3}};
+  }
+  for (const auto& m : scheds) {
+    sched::PeriodicSchedule s(m);
+    if (!ev.idle_feasible(s)) { std::printf("%s: idle-INFEASIBLE\n", s.to_string().c_str()); continue; }
+    auto r = ev.evaluate(s);
+    std::printf("%s: Pall=%.4f %s |", s.to_string().c_str(), r.pall,
+                r.feasible() ? "feasible" : "INFEASIBLE");
+    for (size_t i = 0; i < r.apps.size(); ++i) {
+      std::printf(" s%zu=%.2fms (P=%.3f, umax=%.2f, rho=%.3f)", i+1,
+                  r.apps[i].settling_time*1e3, r.apps[i].performance,
+                  r.apps[i].design.u_max_abs, r.apps[i].design.spectral_radius);
+    }
+    std::printf("\n");
+  }
+  std::printf("designs run: %d / requests %d\n", ev.designs_run(), ev.design_requests());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Probe: single-app design quality vs PSO budget, C1 under RR and (3,2,3).
+#include <cstdio>
+#include "core/case_study.hpp"
+#include "core/evaluator.hpp"
+
+using namespace catsched;
+
+int main() {
+  core::SystemModel sys = core::date18_case_study();
+  auto wcets = sys.analyze_wcets();
+  for (int app = 0; app < 3; ++app) {
+    for (auto& m : {std::vector<int>{1,1,1}, {3,2,3}}) {
+      auto timing = sched::derive_timing(wcets, sched::PeriodicSchedule(m));
+      control::DesignSpec spec;
+      const auto& a = sys.apps[app];
+      spec.plant = a.plant; spec.umax = a.umax; spec.r = a.r;
+      spec.y0 = a.y0; spec.smax = a.smax;
+      for (int budget : {1, 4}) {
+        auto opts = core::date18_design_options();
+        opts.pso.particles *= budget; opts.pso.iterations *= budget;
+        opts.pso_restarts = budget > 1 ? 4 : 2;
+        auto r = control::design_controller(spec, timing.apps[app].intervals, opts);
+        std::printf("app%d m=(%d,%d,%d) budget=%d: s=%.2fms umax=%.3f rho=%.3f evals=%d\n",
+                    app+1, m[0], m[1], m[2], budget, r.settling_time*1e3,
+                    r.u_max_abs, r.spectral_radius, r.pso_evaluations);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Dev tool: sweep plant parameterizations, comparing worst-case settling
+// under (1,1,1) vs (3,2,3) timing of the case study WCETs, to find a
+// region reproducing the paper's 13-17% improvements.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "control/design.hpp"
+#include "core/case_study.hpp"
+#include "sched/timing.hpp"
+
+using namespace catsched;
+
+namespace {
+
+struct Candidate {
+  std::string tag;
+  control::ContinuousLTI plant;
+  double umax, r, y0, smax;
+};
+
+double run(const Candidate& c, const std::vector<sched::Interval>& ivs) {
+  control::DesignSpec spec;
+  spec.plant = c.plant;
+  spec.umax = c.umax;
+  spec.r = c.r;
+  spec.y0 = c.y0;
+  spec.smax = c.smax;
+  auto opts = core::date18_design_options();
+  if (std::getenv("DENSE_SETTLE")) opts.settle_on_samples = false;
+  return control::design_controller(spec, ivs, opts).settling_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int app = argc > 1 ? std::atoi(argv[1]) : 2;  // which app's timing
+  std::vector<sched::AppWcet> w = {
+      {core::Date18Wcets::c1_cold, core::Date18Wcets::c1_warm},
+      {core::Date18Wcets::c2_cold, core::Date18Wcets::c2_warm},
+      {core::Date18Wcets::c3_cold, core::Date18Wcets::c3_warm}};
+  auto t_rr = sched::derive_timing(w, sched::PeriodicSchedule({1, 1, 1}));
+  auto t_ca = sched::derive_timing(w, sched::PeriodicSchedule({3, 2, 3}));
+
+  std::vector<Candidate> cands;
+  if (app == 2) {  // C3 wedge brake variants
+    for (double w0 : {90.0, 110.0, 130.0}) {
+      for (double zeta : {0.1, 0.2}) {
+        for (double umax : {20.0, 30.0, 60.0}) {
+          Candidate c;
+          c.tag = "w0=" + std::to_string((int)w0) + " z=" + std::to_string(zeta).substr(0,4) +
+                  " U=" + std::to_string((int)umax);
+          c.plant.a = linalg::Matrix{{0.0, 1.0}, {-w0 * w0, -2.0 * zeta * w0}};
+          c.plant.b = linalg::Matrix{{0.0}, {3.0e6}};
+          c.plant.c = linalg::Matrix{{1.0, 0.0}};
+          c.umax = umax; c.r = 2000.0; c.y0 = 0.0; c.smax = 17.5e-3;
+          cands.push_back(c);
+        }
+      }
+    }
+  } else if (app == 1) {  // C2 DC motor variants
+    for (double kel : {110.0, 140.0, 180.0}) {  // w0 of drivetrain mode
+      for (double rl : {0.1, 0.15}) {             // zeta
+        for (double umax : {12.0, 25.0, 45.0}) {  // authority ratio scan
+          Candidate c;
+          c.tag = "kel=" + std::to_string((int)kel) + " rl=" + std::to_string((int)rl) +
+                  " U=" + std::to_string((int)umax);
+          c.plant.a = linalg::Matrix{{0.0, 1.0}, {-kel * kel, -2.0 * rl * kel}};
+          c.plant.b = linalg::Matrix{{0.0}, {kel * kel * 35.0 * 7.4 / 12.0}};
+          c.plant.c = linalg::Matrix{{1.0, 0.0}};
+          c.umax = umax; c.r = 115.0; c.y0 = 80.0; c.smax = 20.0e-3;
+          cands.push_back(c);
+        }
+      }
+    }
+  } else {  // C1 servo variants
+    for (double a : {90.0, 120.0, 150.0}) {     // w0 of self-centering servo
+      for (double b : {10000.0, 17500.0, 28000.0}) {
+        for (double umax : {1.0}) {
+          Candidate c;
+          c.tag = "w0=" + std::to_string((int)a) + " b=" + std::to_string((int)b) +
+                  " U=" + std::to_string(umax).substr(0,4);
+          c.plant.a = linalg::Matrix{{0.0, 1.0}, {-a * a, -2.0 * 0.15 * a}};
+          c.plant.b = linalg::Matrix{{0.0}, {b}};
+          c.plant.c = linalg::Matrix{{1.0, 0.0}};
+          c.umax = umax; c.r = 0.26; c.y0 = 0.0; c.smax = 45.0e-3;
+          cands.push_back(c);
+        }
+      }
+    }
+  }
+
+  for (const auto& c : cands) {
+    const double s_rr = run(c, t_rr.apps[app].intervals);
+    const double s_ca = run(c, t_ca.apps[app].intervals);
+    const double imp = (s_rr - s_ca) / s_rr * 100.0;
+    std::printf("%-28s  RR=%6.2fms  CA=%6.2fms  improvement=%+5.1f%%\n",
+                c.tag.c_str(), s_rr * 1e3, s_ca * 1e3, imp);
+  }
+  return 0;
+}
