@@ -28,7 +28,7 @@ int main() {
   core::Evaluator ev(sys, dopts);
   const auto wcets = ev.wcets();
 
-  for (const std::vector<int> m :
+  for (const std::vector<int>& m :
        {std::vector<int>{1, 1, 1}, std::vector<int>{2, 6, 2}}) {
     const sched::PeriodicSchedule schedule(m);
     const auto timing = sched::derive_timing(wcets, schedule);

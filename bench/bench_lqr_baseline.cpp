@@ -92,7 +92,7 @@ int main() {
 
   std::printf("structured u=Kx+Fr (paper Sec. III) vs augmented periodic "
               "LQR, per application\n");
-  for (const std::vector<int> m : {std::vector<int>{1, 1, 1},
+  for (const std::vector<int>& m : {std::vector<int>{1, 1, 1},
                                    std::vector<int>{2, 6, 2},
                                    std::vector<int>{3, 2, 3}}) {
     const sched::PeriodicSchedule schedule(m);

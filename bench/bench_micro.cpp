@@ -169,6 +169,60 @@ void BM_AbstractCacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_AbstractCacheAccess);
 
+// Set-associative variant of the abstract-domain kernel: exercises the
+// aging/eviction pass the direct-mapped fast path skips.
+void BM_AbstractCacheAccessAssoc4(benchmark::State& state) {
+  cache::CacheConfig cfg = sys().cache_config;
+  cfg.associativity = 4;
+  cache::CachePair pair(cfg);
+  const auto& trace = sys().apps[0].program.trace;
+  std::uint64_t fetches = 0;
+  for (auto _ : state) {
+    for (const auto line : trace) {
+      benchmark::DoNotOptimize(pair.classify_and_access(line));
+    }
+    fetches += trace.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fetches));
+}
+BENCHMARK(BM_AbstractCacheAccessAssoc4);
+
+// The WCET fixpoint's other two kernels: abstract state copies (the
+// dominant cost of loop fixpoints: every iteration copies the entry state)
+// and joins at control-flow merges.
+void BM_AbstractCacheCopy(benchmark::State& state) {
+  cache::CachePair pair(sys().cache_config);
+  for (const auto line : sys().apps[0].program.trace) pair.access(line);
+  for (auto _ : state) {
+    cache::CachePair copy = pair;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_AbstractCacheCopy);
+
+void BM_AbstractCacheJoin(benchmark::State& state) {
+  cache::CachePair a(sys().cache_config);
+  cache::CachePair b(sys().cache_config);
+  for (const auto line : sys().apps[0].program.trace) a.access(line);
+  for (const auto line : sys().apps[1].program.trace) b.access(line);
+  for (auto _ : state) {
+    cache::CachePair joined = a;  // copy included: the fixpoint's pattern
+    joined.join(b);
+    benchmark::DoNotOptimize(joined);
+  }
+}
+BENCHMARK(BM_AbstractCacheJoin);
+
+void BM_AbstractCacheEquality(benchmark::State& state) {
+  cache::CachePair a(sys().cache_config);
+  for (const auto line : sys().apps[0].program.trace) a.access(line);
+  const cache::CachePair b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_AbstractCacheEquality);
+
 void BM_FullControllerDesign(benchmark::State& state) {
   const auto timing = sched::derive_timing(sys().analyze_wcets(),
                                            sched::PeriodicSchedule({3, 2, 3}));

@@ -1,0 +1,136 @@
+// Thread-scaling sweep of the parallel design-space exploration engine on
+// the DATE'18 case study: full exhaustive co-design (and the multi-start
+// hybrid search) at 1/2/4/8 threads, verifying along the way that every
+// run returns the identical best schedule and evaluation counts as the
+// serial baseline (the engine's determinism contract).
+//
+//   ./build/bench/bench_parallel_scaling          # full paper case study
+//   ./build/bench/bench_parallel_scaling --fast   # reduced design budget
+//
+// Target (ISSUE 1): >= 4x wall-clock speedup at 8 threads on >= 8 cores.
+// On machines with fewer cores the sweep still runs; thread counts beyond
+// the core count simply stop scaling.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/case_study.hpp"
+#include "core/codesign.hpp"
+#include "core/parallel.hpp"
+
+using namespace catsched;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+control::DesignOptions fast_options() {
+  control::DesignOptions o = core::date18_design_options();
+  o.pso.particles = 10;
+  o.pso.iterations = 15;
+  o.pso.stall_iterations = 6;
+  o.pso_restarts = 1;
+  o.scale_budget_with_dims = false;
+  return o;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::vector<int> best;
+  double pall = 0.0;
+  int enumerated = 0;
+  int designs_run = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+  const core::SystemModel sys = core::date18_case_study();
+  const control::DesignOptions design =
+      fast ? fast_options() : core::date18_design_options();
+  opt::HybridOptions hopts;
+  hopts.tolerance = 0.005;
+
+  std::printf("hardware threads: %zu%s\n", core::hardware_threads(),
+              fast ? "   (--fast design budget)" : "");
+
+  auto run_exhaustive = [&](core::ThreadPool* pool) {
+    core::Evaluator ev(sys, design);
+    const auto t0 = Clock::now();
+    const auto res = core::exhaustive_codesign(ev, hopts, pool);
+    RunResult r;
+    r.seconds = seconds_since(t0);
+    r.best = res.best_schedule.bursts();
+    r.pall = res.details.best_value;
+    r.enumerated = res.details.enumerated;
+    r.designs_run = ev.designs_run();
+    return r;
+  };
+
+  std::printf("\n== exhaustive_codesign (DATE'18 case study) ==\n");
+  const RunResult serial = run_exhaustive(nullptr);
+  std::printf("  serial    %8.2fs  best=(%d,%d,%d) Pall=%.4f "
+              "enumerated=%d designs=%d\n",
+              serial.seconds, serial.best[0], serial.best[1], serial.best[2],
+              serial.pall, serial.enumerated, serial.designs_run);
+
+  bool consistent = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    core::ThreadPool pool(threads);
+    const RunResult r = run_exhaustive(&pool);
+    const bool same = r.best == serial.best && r.pall == serial.pall &&
+                      r.enumerated == serial.enumerated &&
+                      r.designs_run == serial.designs_run;
+    consistent = consistent && same;
+    std::printf("  %zu thread%s %8.2fs  speedup %5.2fx  %s\n", threads,
+                threads == 1 ? " " : "s", r.seconds,
+                serial.seconds / r.seconds,
+                same ? "identical result" : "RESULT MISMATCH");
+  }
+
+  std::printf("\n== hybrid multi-start (4 starts) ==\n");
+  const std::vector<std::vector<int>> starts{{4, 2, 2}, {1, 2, 1},
+                                             {2, 2, 2}, {1, 1, 1}};
+  auto run_hybrid = [&](core::ThreadPool* pool) {
+    core::Evaluator ev(sys, design);
+    const auto t0 = Clock::now();
+    const auto res = core::find_optimal_schedule(ev, starts, hopts, pool);
+    RunResult r;
+    r.seconds = seconds_since(t0);
+    r.best = res.best_schedule.bursts();
+    r.pall = res.best_evaluation.pall;
+    r.enumerated = res.schedules_evaluated;
+    return r;
+  };
+  const RunResult hserial = run_hybrid(nullptr);
+  std::printf("  serial    %8.2fs  best=(%d,%d,%d) Pall=%.4f evals=%d\n",
+              hserial.seconds, hserial.best[0], hserial.best[1],
+              hserial.best[2], hserial.pall, hserial.enumerated);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    core::ThreadPool pool(threads);
+    const RunResult r = run_hybrid(&pool);
+    const bool same = r.best == hserial.best && r.pall == hserial.pall &&
+                      r.enumerated == hserial.enumerated;
+    consistent = consistent && same;
+    std::printf("  %zu threads %8.2fs  speedup %5.2fx  %s\n", threads,
+                r.seconds, hserial.seconds / r.seconds,
+                same ? "identical result" : "RESULT MISMATCH");
+  }
+
+  if (!consistent) {
+    std::printf("\nFAIL: parallel results diverged from serial\n");
+    return 1;
+  }
+  std::printf("\nall parallel runs bit-identical to serial\n");
+  return 0;
+}

@@ -87,7 +87,7 @@ int main() {
 
   // -- Non-preemptive references ----------------------------------------
   std::printf("\nnon-preemptive (paper):\n");
-  for (const std::vector<int> m :
+  for (const std::vector<int>& m :
        {std::vector<int>{1, 1, 1}, std::vector<int>{2, 6, 2}}) {
     const auto timing = sched::derive_timing(wcets,
                                              sched::PeriodicSchedule(m));

@@ -5,6 +5,64 @@
 
 namespace catsched::cache {
 
+// ----------------------------------------------------------- LineAgeSet
+
+namespace {
+
+/// First entry with entry.line >= line in the sorted range [first, last).
+template <typename It>
+It line_lower_bound(It first, It last, std::uint64_t line) noexcept {
+  return std::lower_bound(
+      first, last, line,
+      [](const LineAge& e, std::uint64_t l) { return e.line < l; });
+}
+
+}  // namespace
+
+const LineAge* LineAgeSet::find(std::uint64_t line) const noexcept {
+  const LineAge* it = line_lower_bound(begin(), end(), line);
+  return (it != end() && it->line == line) ? it : nullptr;
+}
+
+LineAge* LineAgeSet::find(std::uint64_t line) noexcept {
+  LineAge* it = line_lower_bound(begin(), end(), line);
+  return (it != end() && it->line == line) ? it : nullptr;
+}
+
+void LineAgeSet::insert(std::uint64_t line, std::uint32_t age) {
+  const std::size_t pos =
+      static_cast<std::size_t>(line_lower_bound(begin(), end(), line) - begin());
+  if (size_ == kInline && spill_.empty()) {
+    // Spill: move the inline entries to the heap (sticky; see header).
+    spill_.reserve(2 * kInline);
+    spill_.assign(inline_.begin(), inline_.end());
+  }
+  if (!spill_.empty() && spill_.size() < size_ + 1) {
+    spill_.resize(std::max<std::size_t>(size_ + 1, 2 * spill_.size()));
+  }
+  LineAge* d = data();
+  for (std::size_t i = size_; i > pos; --i) d[i] = d[i - 1];
+  d[pos] = LineAge{line, age};
+  ++size_;
+}
+
+void LineAgeSet::append(LineAge entry) {
+  if (size_ == kInline && spill_.empty()) {
+    spill_.reserve(2 * kInline);
+    spill_.assign(inline_.begin(), inline_.end());
+  }
+  if (!spill_.empty() && spill_.size() < size_ + 1) {
+    spill_.resize(std::max<std::size_t>(size_ + 1, 2 * spill_.size()));
+  }
+  data()[size_++] = entry;
+}
+
+bool LineAgeSet::operator==(const LineAgeSet& other) const noexcept {
+  return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+}
+
+// --------------------------------------------------- AbstractCacheState
+
 AbstractCacheState::AbstractCacheState(const CacheConfig& config, Kind kind)
     : config_(config), kind_(kind) {
   ways_ = config.ways();
@@ -14,54 +72,59 @@ AbstractCacheState::AbstractCacheState(const CacheConfig& config, Kind kind)
         "AbstractCacheState: lines must be a positive multiple of ways");
   }
   sets_ = config.num_sets();
+  if ((sets_ & (sets_ - 1)) == 0) set_mask_ = sets_ - 1;
   sets_state_.resize(sets_);
 }
 
 void AbstractCacheState::access(std::uint64_t line) {
-  auto& set = sets_state_[set_of(line)];
-  const auto it = set.find(line);
-  const bool tracked = it != set.end();
-  const std::size_t accessed_age = tracked ? it->second : ways_;
-
-  if (kind_ == Kind::must) {
-    // Lines strictly younger than the accessed line's upper bound age by
-    // one (if the accessed line is untracked, everything ages).
-    for (auto m = set.begin(); m != set.end();) {
-      if (m->first != line && m->second < accessed_age) {
-        if (++m->second >= ways_) {
-          m = set.erase(m);  // upper bound reached associativity: evicted
-          continue;
-        }
-      }
-      ++m;
-    }
-  } else {
-    // May: lines at least as young as the accessed line's lower bound might
-    // age; their lower bounds advance only when ageing is certain, i.e.
-    // lb(m) <= lb(accessed) (see Ferdinand's update; an untracked accessed
-    // line is a definite miss, which ages every line).
-    for (auto m = set.begin(); m != set.end();) {
-      if (m->first != line && (!tracked || m->second <= accessed_age)) {
-        if (++m->second >= ways_) {
-          m = set.erase(m);  // even the youngest possibility is evicted
-          continue;
-        }
-      }
-      ++m;
-    }
+  LineAgeSet& set = sets_state_[set_of(line)];
+  if (ways_ == 1) {
+    // Direct-mapped: whatever the prior contents, the accessed line evicts
+    // every other tracked line (must holds at most one entry; in a may set
+    // every other entry has lower bound 0 <= lb(line), so all age out) and
+    // the set collapses to {line, age 0} for both kinds.
+    set.truncate(0);
+    set.append(LineAge{line, 0});
+    return;
   }
-  set[line] = 0;
+  const LineAge* hit = set.find(line);
+  const bool tracked = hit != nullptr;
+  const std::uint32_t ways = static_cast<std::uint32_t>(ways_);
+  const std::uint32_t accessed_age = tracked ? hit->age : ways;
+  const bool is_must = kind_ == Kind::must;
+
+  // One in-place compaction pass: age the affected lines, drop evictions.
+  // Must: lines strictly younger than the accessed line's upper bound age
+  // by one (if the accessed line is untracked, everything ages).
+  // May: lower bounds advance only when ageing is certain, i.e.
+  // lb(m) <= lb(accessed) (see Ferdinand's update; an untracked accessed
+  // line is a definite miss, which ages every line).
+  LineAge* out = set.begin();
+  for (LineAge* it = set.begin(); it != set.end(); ++it) {
+    LineAge e = *it;
+    if (e.line != line) {
+      const bool ages = is_must ? e.age < accessed_age
+                                : (!tracked || e.age <= accessed_age);
+      if (ages && ++e.age >= ways) continue;  // bound hit associativity
+    }
+    *out++ = e;
+  }
+  set.truncate(static_cast<std::size_t>(out - set.begin()));
+
+  if (LineAge* self = set.find(line)) {
+    self->age = 0;
+  } else {
+    set.insert(line, 0);
+  }
 }
 
 bool AbstractCacheState::contains(std::uint64_t line) const noexcept {
-  const auto& set = sets_state_[set_of(line)];
-  return set.find(line) != set.end();
+  return sets_state_[set_of(line)].find(line) != nullptr;
 }
 
 std::size_t AbstractCacheState::age(std::uint64_t line) const noexcept {
-  const auto& set = sets_state_[set_of(line)];
-  const auto it = set.find(line);
-  return it != set.end() ? it->second : ways_;
+  const LineAge* e = sets_state_[set_of(line)].find(line);
+  return e != nullptr ? e->age : ways_;
 }
 
 void AbstractCacheState::join(const AbstractCacheState& other) {
@@ -69,36 +132,56 @@ void AbstractCacheState::join(const AbstractCacheState& other) {
     throw std::invalid_argument("AbstractCacheState::join: mismatched states");
   }
   for (std::size_t s = 0; s < sets_; ++s) {
-    auto& mine = sets_state_[s];
-    const auto& theirs = other.sets_state_[s];
+    LineAgeSet& mine = sets_state_[s];
+    const LineAgeSet& theirs = other.sets_state_[s];
     if (kind_ == Kind::must) {
-      // Intersection with maximal (most pessimistic) age.
-      for (auto it = mine.begin(); it != mine.end();) {
-        const auto jt = theirs.find(it->first);
-        if (jt == theirs.end()) {
-          it = mine.erase(it);
+      // Intersection with maximal (most pessimistic) age: a sorted merge
+      // written back in place (the result is a subset of `mine`).
+      LineAge* out = mine.begin();
+      const LineAge* a = mine.begin();
+      const LineAge* a_end = mine.end();
+      const LineAge* b = theirs.begin();
+      const LineAge* b_end = theirs.end();
+      while (a != a_end && b != b_end) {
+        if (a->line < b->line) {
+          ++a;
+        } else if (b->line < a->line) {
+          ++b;
         } else {
-          it->second = std::max(it->second, jt->second);
-          ++it;
+          *out++ = LineAge{a->line, std::max(a->age, b->age)};
+          ++a;
+          ++b;
         }
       }
+      mine.truncate(static_cast<std::size_t>(out - mine.begin()));
     } else {
-      // Union with minimal (most optimistic) age.
-      for (const auto& [line, age] : theirs) {
-        const auto it = mine.find(line);
-        if (it == mine.end()) {
-          mine.emplace(line, age);
+      // Union with minimal (most optimistic) age: sorted merge into a
+      // scratch set (the union can outgrow `mine`).
+      if (theirs.empty()) continue;
+      LineAgeSet merged;
+      const LineAge* a = mine.begin();
+      const LineAge* a_end = mine.end();
+      const LineAge* b = theirs.begin();
+      const LineAge* b_end = theirs.end();
+      while (a != a_end || b != b_end) {
+        if (b == b_end || (a != a_end && a->line < b->line)) {
+          merged.append(*a++);
+        } else if (a == a_end || b->line < a->line) {
+          merged.append(*b++);
         } else {
-          it->second = std::min(it->second, age);
+          merged.append(LineAge{a->line, std::min(a->age, b->age)});
+          ++a;
+          ++b;
         }
       }
+      mine = std::move(merged);
     }
   }
 }
 
 std::size_t AbstractCacheState::tracked_lines() const noexcept {
   std::size_t n = 0;
-  for (const auto& set : sets_state_) n += set.size();
+  for (const LineAgeSet& set : sets_state_) n += set.size();
   return n;
 }
 

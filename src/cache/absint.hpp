@@ -7,17 +7,89 @@
 ///        present => guaranteed hit); a may state overapproximates them
 ///        (line absent => guaranteed miss).
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "cache/cache_model.hpp"
 
 namespace catsched::cache {
 
+/// One tracked cache line with its age bound.
+struct LineAge {
+  std::uint64_t line = 0;
+  std::uint32_t age = 0;
+  bool operator==(const LineAge&) const = default;
+};
+
+/// Flat per-set storage for an abstract cache set: line/age entries kept
+/// sorted by line. Entries live in a fixed inline array (no allocation) up
+/// to kInline and spill to the heap beyond it — a must set never exceeds
+/// the associativity, so for the common configurations every WCET-fixpoint
+/// access/join/compare is allocation-free; only a may set can briefly grow
+/// past the associativity at join points (its join is a union).
+class LineAgeSet {
+public:
+  static constexpr std::size_t kInline = 4;
+
+  LineAgeSet() = default;
+  LineAgeSet(const LineAgeSet&) = default;
+  LineAgeSet(LineAgeSet&&) = default;
+  LineAgeSet& operator=(const LineAgeSet&) = default;
+  LineAgeSet& operator=(LineAgeSet&&) = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const LineAge* begin() const noexcept { return data(); }
+  const LineAge* end() const noexcept { return data() + size_; }
+  LineAge* begin() noexcept { return data(); }
+  LineAge* end() noexcept { return data() + size_; }
+
+  /// Entry for \p line, or nullptr.
+  const LineAge* find(std::uint64_t line) const noexcept;
+  LineAge* find(std::uint64_t line) noexcept;
+
+  /// Insert (line, age) keeping the sort; \p line must not be present.
+  void insert(std::uint64_t line, std::uint32_t age);
+
+  /// Append an entry whose line is greater than every present line (the
+  /// fast path for building a set in sorted order, e.g. merge joins).
+  void append(LineAge entry);
+
+  /// Drop every entry at index >= n (after an in-place compaction).
+  void truncate(std::size_t n) noexcept {
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  /// Logical (storage-independent) equality: same sorted entry sequence.
+  bool operator==(const LineAgeSet& other) const noexcept;
+
+private:
+  const LineAge* data() const noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  LineAge* data() noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+
+  std::uint32_t size_ = 0;
+  std::array<LineAge, kInline> inline_{};
+  // Sticky heap mode: once spilled, entries stay in spill_ (capacity is
+  // retained across clears, so a hot may set allocates once).
+  std::vector<LineAge> spill_;
+};
+
 /// One abstract cache state: per set, an age bound for every tracked line.
 /// Kind::must -> ages are upper bounds, join = intersection with max age.
 /// Kind::may  -> ages are lower bounds, join = union with min age.
+///
+/// Storage is flat (see LineAgeSet): the WCET fixpoint's access/join/==
+/// inner loops run over contiguous line/age pairs instead of std::map
+/// nodes, which removes every per-access allocation and makes state copies
+/// (the dominant cost of loop fixpoints) plain memcpy-sized.
 class AbstractCacheState {
 public:
   enum class Kind { must, may };
@@ -55,15 +127,20 @@ public:
 
 private:
   std::size_t set_of(std::uint64_t line) const noexcept {
-    return static_cast<std::size_t>(line % sets_);
+    // Caches almost always have a power-of-two set count; the masked path
+    // avoids a hardware divide in the innermost fixpoint loop.
+    return static_cast<std::size_t>(set_mask_ != 0 ? (line & set_mask_)
+                                                   : line % sets_);
   }
 
   CacheConfig config_;
   Kind kind_ = Kind::must;
   std::size_t sets_ = 0;
   std::size_t ways_ = 0;
-  // Ordered maps keep operator== and join deterministic.
-  std::vector<std::map<std::uint64_t, std::size_t>> sets_state_;
+  std::uint64_t set_mask_ = 0;  ///< sets_ - 1 when sets_ is a power of two
+  // Flat sorted-by-line sets keep operator== and join deterministic (same
+  // iteration order as the previous std::map storage) without node churn.
+  std::vector<LineAgeSet> sets_state_;
 };
 
 /// Static classification of one instruction-fetch access point.

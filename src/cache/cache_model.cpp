@@ -14,6 +14,7 @@ CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
         "CacheSim: num_lines must be a positive multiple of associativity");
   }
   sets_ = config.num_lines / ways_;
+  if ((sets_ & (sets_ - 1)) == 0) set_mask_ = sets_ - 1;
   lines_.assign(sets_ * ways_, Way{});
 }
 

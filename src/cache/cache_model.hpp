@@ -77,12 +77,16 @@ private:
   };
 
   std::size_t set_of(std::uint64_t line_addr) const noexcept {
-    return static_cast<std::size_t>(line_addr % sets_);
+    // Masked path for power-of-two set counts: no hardware divide in the
+    // trace-replay inner loop.
+    return static_cast<std::size_t>(set_mask_ != 0 ? (line_addr & set_mask_)
+                                                   : line_addr % sets_);
   }
 
   CacheConfig config_;
   std::size_t sets_ = 0;
   std::size_t ways_ = 0;
+  std::uint64_t set_mask_ = 0;  ///< sets_ - 1 when sets_ is a power of two
   // sets_ x ways_ entries; within a set, index 0 is MRU, last is LRU.
   std::vector<Way> lines_;
   std::uint64_t hits_ = 0;

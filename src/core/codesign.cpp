@@ -20,14 +20,14 @@ opt::CheapFeasible make_cheap_feasible(const Evaluator& evaluator) {
 
 CodesignResult find_optimal_schedule(
     Evaluator& evaluator, const std::vector<std::vector<int>>& starts,
-    const opt::HybridOptions& opts) {
+    const opt::HybridOptions& opts, ThreadPool* pool) {
   if (starts.empty()) {
     throw std::invalid_argument("find_optimal_schedule: no start points");
   }
   CodesignResult res;
   res.search = opt::hybrid_search_multistart(
       make_objective(evaluator), make_cheap_feasible(evaluator), starts,
-      opts);
+      opts, pool);
   res.schedules_evaluated = res.search.total_unique_evaluations;
   if (res.search.combined.found_feasible) {
     res.found = true;
@@ -38,11 +38,13 @@ CodesignResult find_optimal_schedule(
 }
 
 ExhaustiveCodesignResult exhaustive_codesign(Evaluator& evaluator,
-                                             const opt::HybridOptions& opts) {
+                                             const opt::HybridOptions& opts,
+                                             ThreadPool* pool) {
   ExhaustiveCodesignResult res;
   res.details = opt::exhaustive_search(make_objective(evaluator),
                                        make_cheap_feasible(evaluator),
-                                       evaluator.model().num_apps(), opts);
+                                       evaluator.model().num_apps(), opts,
+                                       pool);
   if (res.details.found_feasible) {
     res.found = true;
     res.best_schedule = sched::PeriodicSchedule(res.details.best);

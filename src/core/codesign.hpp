@@ -24,11 +24,14 @@ opt::DiscreteObjective make_objective(Evaluator& evaluator);
 /// Adapter: the cheap pre-filter (idle-time feasibility, eq. (4)).
 opt::CheapFeasible make_cheap_feasible(const Evaluator& evaluator);
 
-/// Run the hybrid search (Sec. IV) from the given start schedules.
+/// Run the hybrid search (Sec. IV) from the given start schedules. With a
+/// \p pool, starts run concurrently and each step's neighbor candidates
+/// are batched across the workers; results are bit-identical to the serial
+/// run (see opt::hybrid_search_multistart).
 /// \throws std::invalid_argument if starts is empty.
 CodesignResult find_optimal_schedule(
     Evaluator& evaluator, const std::vector<std::vector<int>>& starts,
-    const opt::HybridOptions& opts = {});
+    const opt::HybridOptions& opts = {}, ThreadPool* pool = nullptr);
 
 /// Exhaustive baseline over the idle-feasible region.
 struct ExhaustiveCodesignResult {
@@ -37,7 +40,10 @@ struct ExhaustiveCodesignResult {
   bool found = false;
   opt::ExhaustiveResult details;
 };
+/// With a \p pool, the enumerated region is evaluated across the workers
+/// and reduced in enumeration order — bit-identical to the serial run.
 ExhaustiveCodesignResult exhaustive_codesign(
-    Evaluator& evaluator, const opt::HybridOptions& opts = {});
+    Evaluator& evaluator, const opt::HybridOptions& opts = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace catsched::core

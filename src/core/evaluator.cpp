@@ -41,27 +41,27 @@ AppEvaluation Evaluator::evaluate_app(
     std::size_t app, const std::vector<sched::Interval>& intervals) {
   ++design_requests_;
   const MemoKey key{app, quantize(intervals)};
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second;
+  // Compute-once: concurrent requests for the same timing pattern run the
+  // expensive design exactly once and all observe the finished result.
+  return memo_.get_or_compute(key, [&] {
+    const Application& a = model_.apps[app];
+    control::DesignSpec spec;
+    spec.plant = a.plant;
+    spec.umax = a.umax;
+    spec.r = a.r;
+    spec.y0 = a.y0;
+    spec.smax = a.smax;
 
-  const Application& a = model_.apps[app];
-  control::DesignSpec spec;
-  spec.plant = a.plant;
-  spec.umax = a.umax;
-  spec.r = a.r;
-  spec.y0 = a.y0;
-  spec.smax = a.smax;
-
-  AppEvaluation ev;
-  ev.design = control::design_controller(spec, intervals, design_opts_);
-  ++designs_run_;
-  ev.settling_time = ev.design.settling_time;
-  ev.performance = std::isfinite(ev.settling_time)
-                       ? 1.0 - ev.settling_time / a.smax
-                       : -std::numeric_limits<double>::infinity();
-  ev.feasible = ev.design.feasible && ev.performance >= 0.0;
-  memo_.emplace(key, ev);
-  return ev;
+    AppEvaluation ev;
+    ev.design = control::design_controller(spec, intervals, design_opts_);
+    ++designs_run_;
+    ev.settling_time = ev.design.settling_time;
+    ev.performance = std::isfinite(ev.settling_time)
+                         ? 1.0 - ev.settling_time / a.smax
+                         : -std::numeric_limits<double>::infinity();
+    ev.feasible = ev.design.feasible && ev.performance >= 0.0;
+    return ev;
+  });
 }
 
 ScheduleEvaluation Evaluator::evaluate(const sched::PeriodicSchedule& s) {

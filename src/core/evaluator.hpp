@@ -6,10 +6,12 @@
 ///        pattern (a schedule change that leaves an app's intervals
 ///        untouched reuses its design).
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <utility>
 
+#include "core/parallel.hpp"
 #include "core/system_model.hpp"
 #include "sched/schedule.hpp"
 
@@ -37,6 +39,12 @@ struct ScheduleEvaluation {
 
 /// Evaluates schedules for a fixed SystemModel. Holds the WCET analysis
 /// results and a memo of per-application designs.
+///
+/// Thread-safe: evaluate() may be called concurrently (the design memo is
+/// a sharded compute-once map, the counters are atomic), which is what the
+/// parallel search engine in opt/discrete_search relies on. Results are
+/// deterministic: a design is computed exactly once per timing pattern and
+/// design_controller itself is deterministic.
 class Evaluator {
 public:
   /// Runs the cache/WCET analysis once up front.
@@ -55,9 +63,9 @@ public:
   ScheduleEvaluation evaluate(const sched::InterleavedSchedule& s);
 
   /// Number of per-application designs actually run (cache misses).
-  int designs_run() const noexcept { return designs_run_; }
+  int designs_run() const noexcept { return designs_run_.load(); }
   /// Number of per-application design requests (incl. memo hits).
-  int design_requests() const noexcept { return design_requests_; }
+  int design_requests() const noexcept { return design_requests_.load(); }
 
 private:
   AppEvaluation evaluate_app(std::size_t app,
@@ -68,9 +76,9 @@ private:
   SystemModel model_;
   control::DesignOptions design_opts_;
   std::vector<sched::AppWcet> wcets_;
-  std::map<MemoKey, AppEvaluation> memo_;
-  int designs_run_ = 0;
-  int design_requests_ = 0;
+  ConcurrentMemoMap<MemoKey, AppEvaluation, IndexedVectorHash> memo_;
+  std::atomic<int> designs_run_{0};
+  std::atomic<int> design_requests_{0};
 };
 
 }  // namespace catsched::core

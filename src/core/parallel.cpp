@@ -1,0 +1,131 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace catsched::core {
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for. Owned by shared_ptr because helper
+/// tasks may be dequeued after the loop already finished (they then see
+/// next >= n and return without touching body).
+struct ForLoopState {
+  explicit ForLoopState(std::size_t total,
+                        const std::function<void(std::size_t)>& b)
+      : n(total), body(b) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)>& body;  // outlives wait (see below)
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure, guarded by mu
+
+  /// Claim and run iterations until the index space is exhausted.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // `body` is only dereferenced by drain() while an index < n is claimed;
+  // once the caller observed done == n every claimable index is gone, so
+  // stragglers dequeued later exit immediately and the reference to the
+  // caller's (by then dead) body is never followed.
+  auto state = std::make_shared<ForLoopState>(n, body);
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    post([state] { state->drain(); });
+  }
+  state->drain();  // the caller participates: nesting can never deadlock
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->n;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace catsched::core

@@ -1,17 +1,30 @@
 #include "opt/discrete_search.hpp"
 
 #include <algorithm>
-#include <set>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace catsched::opt {
 
-const EvalOutcome& EvalCache::evaluate(const std::vector<int>& p) {
-  auto it = cache_.find(p);
-  if (it == cache_.end()) {
-    it = cache_.emplace(p, objective_(p)).first;
-  }
-  return it->second;
+const EvalOutcome& EvalCache::evaluate(const std::vector<int>& p,
+                                       std::atomic<int>* misses) {
+  bool computed = false;
+  const EvalOutcome& out = cache_.get_or_compute(p, [&] {
+    computed = true;
+    return objective_(p);
+  });
+  if (computed && misses != nullptr) misses->fetch_add(1);
+  return out;
+}
+
+std::vector<const EvalOutcome*> EvalCache::evaluate_batch(
+    const std::vector<const std::vector<int>*>& points, core::ThreadPool* pool,
+    std::atomic<int>* misses) {
+  std::vector<const EvalOutcome*> out(points.size(), nullptr);
+  core::parallel_for(pool, points.size(), [&](std::size_t i) {
+    out[i] = &evaluate(*points[i], misses);
+  });
+  return out;
 }
 
 namespace {
@@ -27,7 +40,7 @@ bool in_bounds(const std::vector<int>& p, const HybridOptions& opts) {
 
 HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
                            const std::vector<int>& start,
-                           const HybridOptions& opts) {
+                           const HybridOptions& opts, core::ThreadPool* pool) {
   if (start.empty()) {
     throw std::invalid_argument("hybrid_search: empty start");
   }
@@ -35,13 +48,16 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     throw std::invalid_argument("hybrid_search: start point infeasible");
   }
   const std::size_t n = start.size();
-  const int evals_before = cache.unique_evaluations();
+  // Count the points THIS run computes (memo misses it wins), not a global
+  // cache-size delta — under parallel multistart the latter would absorb
+  // other runs' concurrent insertions.
+  std::atomic<int> run_misses{0};
 
   HybridResult res;
   std::vector<int> cur = start;
-  EvalOutcome cur_out = cache.evaluate(cur);
+  EvalOutcome cur_out = cache.evaluate(cur, &run_misses);
   res.path.push_back(cur);
-  std::set<std::vector<int>> visited{cur};
+  std::unordered_set<std::vector<int>, core::VectorHash> visited{cur};
 
   auto consider_best = [&](const std::vector<int>& p, const EvalOutcome& o) {
     if (o.feasible && (!res.found_feasible || o.value > res.best_value)) {
@@ -55,7 +71,43 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
   for (int step = 0; step < opts.max_steps; ++step) {
     // Build the per-dimension 1-D quadratic models: evaluate both discrete
     // neighbors where feasible; the model's gradient at the current point
-    // is the central (or one-sided) difference.
+    // is the central (or one-sided) difference. All candidate neighbors of
+    // the step are batched through the pool; the order of consider_best and
+    // the step decision below are serial, keeping the run bit-identical to
+    // a pool-less one.
+    struct Neighbor {
+      std::size_t dim;
+      int dir;
+      std::vector<int> point;
+    };
+    std::vector<Neighbor> neighbors;
+    neighbors.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<int> pm = cur;
+      pm[i] -= 1;
+      if (in_bounds(pm, opts) && cheap(pm)) {
+        neighbors.push_back(Neighbor{i, -1, std::move(pm)});
+      }
+      std::vector<int> pp = cur;
+      pp[i] += 1;
+      if (in_bounds(pp, opts) && cheap(pp)) {
+        neighbors.push_back(Neighbor{i, +1, std::move(pp)});
+      }
+    }
+    std::vector<const std::vector<int>*> batch;
+    batch.reserve(neighbors.size());
+    for (const Neighbor& nb : neighbors) batch.push_back(&nb.point);
+    const std::vector<const EvalOutcome*> outcomes =
+        cache.evaluate_batch(batch, pool, &run_misses);
+
+    std::vector<std::optional<double>> f_minus(n);
+    std::vector<std::optional<double>> f_plus(n);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      consider_best(neighbors[k].point, *outcomes[k]);
+      (neighbors[k].dir < 0 ? f_minus : f_plus)[neighbors[k].dim] =
+          outcomes[k]->value;
+    }
+
     struct Move {
       std::size_t dim;
       int dir;
@@ -63,27 +115,13 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     };
     std::vector<Move> moves;
     for (std::size_t i = 0; i < n; ++i) {
-      std::optional<double> f_minus;
-      std::optional<double> f_plus;
-      std::vector<int> pm = cur;
-      pm[i] -= 1;
-      if (in_bounds(pm, opts) && cheap(pm)) {
-        f_minus = cache.evaluate(pm).value;
-        consider_best(pm, cache.evaluate(pm));
-      }
-      std::vector<int> pp = cur;
-      pp[i] += 1;
-      if (in_bounds(pp, opts) && cheap(pp)) {
-        f_plus = cache.evaluate(pp).value;
-        consider_best(pp, cache.evaluate(pp));
-      }
       double grad;
-      if (f_minus && f_plus) {
-        grad = (*f_plus - *f_minus) / 2.0;
-      } else if (f_plus) {
-        grad = *f_plus - cur_out.value;
-      } else if (f_minus) {
-        grad = cur_out.value - *f_minus;
+      if (f_minus[i] && f_plus[i]) {
+        grad = (*f_plus[i] - *f_minus[i]) / 2.0;
+      } else if (f_plus[i]) {
+        grad = *f_plus[i] - cur_out.value;
+      } else if (f_minus[i]) {
+        grad = cur_out.value - *f_minus[i];
       } else {
         continue;
       }
@@ -91,8 +129,8 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
       // gain along that direction; negative-gain moves stay in the list so
       // the tolerance (the simulated-annealing feature) can take them when
       // nothing better exists.
-      if (f_plus) moves.push_back(Move{i, +1, grad});
-      if (f_minus) moves.push_back(Move{i, -1, -grad});
+      if (f_plus[i]) moves.push_back(Move{i, +1, grad});
+      if (f_minus[i]) moves.push_back(Move{i, -1, -grad});
     }
     std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
       return a.gradient > b.gradient;
@@ -104,9 +142,10 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     bool moved = false;
     for (const Move& mv : moves) {
       std::vector<int> next = cur;
-      next[static_cast<std::size_t>(mv.dim)] += mv.dir;
+      next[mv.dim] += mv.dir;
       if (visited.count(next)) continue;
-      const EvalOutcome& out = cache.evaluate(next);
+      // Memo hit (batched above), but count defensively via run_misses.
+      const EvalOutcome& out = cache.evaluate(next, &run_misses);
       consider_best(next, out);
       if (!out.feasible) continue;  // eq. (3) violated: try next direction
       if (out.value + opts.tolerance < cur_out.value) continue;
@@ -121,23 +160,28 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     if (!moved) break;
   }
 
-  res.evaluations = cache.unique_evaluations() - evals_before;
+  res.evaluations = run_misses.load();
   return res;
 }
 
 MultiStartResult hybrid_search_multistart(
     const DiscreteObjective& objective, const CheapFeasible& cheap,
-    const std::vector<std::vector<int>>& starts, const HybridOptions& opts) {
+    const std::vector<std::vector<int>>& starts, const HybridOptions& opts,
+    core::ThreadPool* pool) {
   EvalCache cache(objective);
   MultiStartResult res;
-  for (const auto& s : starts) {
-    HybridResult r = hybrid_search(cache, cheap, s, opts);
+  res.runs.resize(starts.size());
+  core::parallel_for(pool, starts.size(), [&](std::size_t i) {
+    res.runs[i] = hybrid_search(cache, cheap, starts[i], opts, pool);
+  });
+  // Deterministic reduction: combine in start order regardless of which
+  // run finished first.
+  for (const HybridResult& r : res.runs) {
     if (r.found_feasible &&
         (!res.combined.found_feasible ||
          r.best_value > res.combined.best_value)) {
       res.combined = r;
     }
-    res.runs.push_back(std::move(r));
   }
   res.total_unique_evaluations = cache.unique_evaluations();
   return res;
@@ -193,20 +237,30 @@ std::vector<std::vector<int>> enumerate_feasible(const CheapFeasible& cheap,
 ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
                                    const CheapFeasible& cheap,
                                    std::size_t dims,
-                                   const HybridOptions& opts) {
+                                   const HybridOptions& opts,
+                                   core::ThreadPool* pool) {
+  // Enumerate serially (cheap), fan the expensive evaluations across the
+  // pool into index-addressed slots, then reduce serially in enumeration
+  // order — bit-identical to the serial scan.
+  std::vector<std::vector<int>> region = enumerate_feasible(cheap, dims, opts);
+  std::vector<EvalOutcome> outcomes(region.size());
+  core::parallel_for(pool, region.size(),
+                     [&](std::size_t i) { outcomes[i] = objective(region[i]); });
+
   ExhaustiveResult res;
-  for (const auto& p : enumerate_feasible(cheap, dims, opts)) {
-    EvalOutcome out = objective(p);
+  res.all.reserve(region.size());
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    const EvalOutcome& out = outcomes[i];
     ++res.enumerated;
     if (out.feasible) {
       ++res.control_feasible;
       if (!res.found_feasible || out.value > res.best_value) {
         res.found_feasible = true;
         res.best_value = out.value;
-        res.best = p;
+        res.best = region[i];
       }
     }
-    res.all.emplace_back(p, out);
+    res.all.emplace_back(std::move(region[i]), out);
   }
   return res;
 }

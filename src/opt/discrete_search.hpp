@@ -7,9 +7,10 @@
 ///        region.
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
+
+#include "core/parallel.hpp"
 
 namespace catsched::opt {
 
@@ -31,22 +32,38 @@ using CheapFeasible = std::function<bool(const std::vector<int>&)>;
 /// Memoized evaluation cache shared between searches so that the
 /// "evaluated schedules" count matches the paper's accounting (a schedule
 /// costs only once, even across parallel searches).
+///
+/// Thread-safe: concurrent evaluate() calls on the same point run the
+/// objective exactly once (compute-once memo); the objective itself must
+/// tolerate concurrent calls on *distinct* points.
 class EvalCache {
 public:
   explicit EvalCache(DiscreteObjective objective)
       : objective_(std::move(objective)) {}
 
-  /// Evaluate through the cache.
-  const EvalOutcome& evaluate(const std::vector<int>& p);
+  /// Evaluate through the cache. The reference stays valid for the cache's
+  /// lifetime. If \p misses is non-null it is incremented when THIS call
+  /// ran the objective (a memo miss) — the per-run cost accounting.
+  const EvalOutcome& evaluate(const std::vector<int>& p,
+                              std::atomic<int>* misses = nullptr);
+
+  /// Batch objective API: evaluate every point (duplicates deduplicated by
+  /// the memo) concurrently on \p pool — serially when pool is null — and
+  /// return the outcomes in input order. Points are taken by pointer so
+  /// callers batch without copying their candidate vectors.
+  std::vector<const EvalOutcome*> evaluate_batch(
+      const std::vector<const std::vector<int>*>& points,
+      core::ThreadPool* pool, std::atomic<int>* misses = nullptr);
 
   /// Distinct points evaluated so far.
-  int unique_evaluations() const noexcept {
+  int unique_evaluations() const {
     return static_cast<int>(cache_.size());
   }
 
 private:
   DiscreteObjective objective_;
-  std::map<std::vector<int>, EvalOutcome> cache_;
+  core::ConcurrentMemoMap<std::vector<int>, EvalOutcome, core::VectorHash>
+      cache_;
 };
 
 /// Hybrid search tuning.
@@ -70,12 +87,16 @@ struct HybridResult {
 };
 
 /// One hybrid search from \p start. Evaluations go through \p cache; the
-/// run's `evaluations` field reports how many *new* points it cost.
+/// run's `evaluations` field reports how many *new* points it cost. With a
+/// \p pool, each step's <= 2n neighbor candidates are evaluated
+/// concurrently; the accepted path and best point are bit-identical to the
+/// serial run (the step decision itself stays sequential).
 /// \throws std::invalid_argument if start is empty, out of bounds, or
 ///         cheap-infeasible.
 HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
                            const std::vector<int>& start,
-                           const HybridOptions& opts);
+                           const HybridOptions& opts,
+                           core::ThreadPool* pool = nullptr);
 
 /// Multi-start driver: runs hybrid_search from every start against one
 /// shared cache and combines the best feasible outcome.
@@ -84,9 +105,19 @@ struct MultiStartResult {
   std::vector<HybridResult> runs;
   int total_unique_evaluations = 0;
 };
+
+/// With a \p pool the starts run concurrently against one shared
+/// thread-safe cache. Best point, best value and the total unique
+/// evaluation count are bit-identical to the serial run (each run's path
+/// depends only on objective values, which are memoized deterministically).
+/// Only the per-run `evaluations` split may differ: each run counts the
+/// points it computed itself (the sum over runs always equals
+/// total_unique_evaluations), so a point raced by two runs is charged to
+/// whichever won the memo slot.
 MultiStartResult hybrid_search_multistart(
     const DiscreteObjective& objective, const CheapFeasible& cheap,
-    const std::vector<std::vector<int>>& starts, const HybridOptions& opts);
+    const std::vector<std::vector<int>>& starts, const HybridOptions& opts,
+    core::ThreadPool* pool = nullptr);
 
 /// Exhaustive enumeration of the cheap-feasible (downward-closed) region.
 struct ExhaustiveResult {
@@ -99,12 +130,16 @@ struct ExhaustiveResult {
 };
 
 /// Enumerate and evaluate every cheap-feasible point with dimensions
-/// \p dims, each value in [min_value, max_value].
+/// \p dims, each value in [min_value, max_value]. With a \p pool the
+/// enumerated region is fanned across the workers and reduced serially in
+/// enumeration order, so the result (including the full `all` table) is
+/// bit-identical to the serial run.
 /// \throws std::invalid_argument if dims == 0.
 ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
                                    const CheapFeasible& cheap,
                                    std::size_t dims,
-                                   const HybridOptions& opts);
+                                   const HybridOptions& opts,
+                                   core::ThreadPool* pool = nullptr);
 
 /// Just the cheap-feasible region (no expensive evaluations), e.g. to count
 /// candidate schedules.

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <random>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "cache/absint.hpp"
@@ -206,5 +210,158 @@ TEST(AbsintSoundness, JoinCoversBothConcreteStates) {
     }
   }
 }
+
+// --------------------------------------------------------------------------
+// Differential check of the flat (sorted line/age array) domain against an
+// independent std::map reference implementation of Ferdinand's transfer
+// functions — the storage the domain used before the flat rewrite. Any
+// divergence in tracked lines, ages, or join results over randomized traces
+// with joins is a bug in one of the two.
+
+/// Reference (map-based) must/may state with the original transfer code.
+class MapRefState {
+ public:
+  MapRefState(const CacheConfig& config, AbstractCacheState::Kind kind)
+      : kind_(kind), sets_(config.num_sets()), ways_(config.ways()),
+        sets_state_(sets_) {}
+
+  void access(std::uint64_t line) {
+    auto& set = sets_state_[line % sets_];
+    const auto it = set.find(line);
+    const bool tracked = it != set.end();
+    const std::size_t accessed_age = tracked ? it->second : ways_;
+    const bool is_must = kind_ == AbstractCacheState::Kind::must;
+    for (auto m = set.begin(); m != set.end();) {
+      const bool ages = is_must
+                            ? m->second < accessed_age
+                            : (!tracked || m->second <= accessed_age);
+      if (m->first != line && ages) {
+        if (++m->second >= ways_) {
+          m = set.erase(m);
+          continue;
+        }
+      }
+      ++m;
+    }
+    set[line] = 0;
+  }
+
+  void join(const MapRefState& other) {
+    for (std::size_t s = 0; s < sets_; ++s) {
+      auto& mine = sets_state_[s];
+      const auto& theirs = other.sets_state_[s];
+      if (kind_ == AbstractCacheState::Kind::must) {
+        for (auto it = mine.begin(); it != mine.end();) {
+          const auto jt = theirs.find(it->first);
+          if (jt == theirs.end()) {
+            it = mine.erase(it);
+          } else {
+            it->second = std::max(it->second, jt->second);
+            ++it;
+          }
+        }
+      } else {
+        for (const auto& [line, age] : theirs) {
+          const auto it = mine.find(line);
+          if (it == mine.end()) {
+            mine.emplace(line, age);
+          } else {
+            it->second = std::min(it->second, age);
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t age(std::uint64_t line) const {
+    const auto& set = sets_state_[line % sets_];
+    const auto it = set.find(line);
+    return it != set.end() ? it->second : ways_;
+  }
+
+  std::size_t tracked_lines() const {
+    std::size_t n = 0;
+    for (const auto& set : sets_state_) n += set.size();
+    return n;
+  }
+
+  /// Every (line, age) pair over all sets, for exhaustive comparison.
+  std::vector<std::pair<std::uint64_t, std::size_t>> entries() const {
+    std::vector<std::pair<std::uint64_t, std::size_t>> out;
+    for (const auto& set : sets_state_) {
+      out.insert(out.end(), set.begin(), set.end());
+    }
+    return out;
+  }
+
+ private:
+  AbstractCacheState::Kind kind_;
+  std::size_t sets_;
+  std::size_t ways_;
+  std::vector<std::map<std::uint64_t, std::size_t>> sets_state_;
+};
+
+void expect_equivalent(const AbstractCacheState& flat, const MapRefState& ref,
+                       std::uint64_t max_line, const char* what) {
+  ASSERT_EQ(flat.tracked_lines(), ref.tracked_lines()) << what;
+  for (std::uint64_t line = 0; line <= max_line; ++line) {
+    ASSERT_EQ(flat.age(line), ref.age(line)) << what << " line " << line;
+  }
+}
+
+class FlatVsMapDifferential
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(FlatVsMapDifferential, RandomTracesWithJoinsMatchReference) {
+  const auto [lines, assoc] = GetParam();
+  const CacheConfig cfg = small_cache(lines, assoc);
+  const std::uint64_t max_line = 3 * lines;
+  std::mt19937_64 rng(lines * 1000 + assoc);
+  std::uniform_int_distribution<std::uint64_t> addr(0, max_line);
+
+  for (const auto kind :
+       {AbstractCacheState::Kind::must, AbstractCacheState::Kind::may}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      AbstractCacheState flat_a(cfg, kind);
+      AbstractCacheState flat_b(cfg, kind);
+      MapRefState ref_a(cfg, kind);
+      MapRefState ref_b(cfg, kind);
+      // Two diverging access paths...
+      for (int i = 0; i < 80; ++i) {
+        const std::uint64_t la = addr(rng);
+        const std::uint64_t lb = addr(rng);
+        flat_a.access(la);
+        ref_a.access(la);
+        flat_b.access(lb);
+        ref_b.access(lb);
+      }
+      expect_equivalent(flat_a, ref_a, max_line, "pre-join A");
+      expect_equivalent(flat_b, ref_b, max_line, "pre-join B");
+      // ...joined (may-union can outgrow the associativity), then more
+      // accesses to age the joined state back down.
+      flat_a.join(flat_b);
+      ref_a.join(ref_b);
+      expect_equivalent(flat_a, ref_a, max_line, "post-join");
+      for (int i = 0; i < 40; ++i) {
+        const std::uint64_t line = addr(rng);
+        flat_a.access(line);
+        ref_a.access(line);
+      }
+      expect_equivalent(flat_a, ref_a, max_line, "post-join access");
+      // Equality operator agrees with the reference notion of equality.
+      AbstractCacheState replay(cfg, kind);
+      EXPECT_EQ(flat_a == replay, ref_a.entries() == MapRefState(cfg, kind).entries());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FlatVsMapDifferential,
+    ::testing::Values(std::make_tuple(8, 1),    // direct-mapped (fast path)
+                      std::make_tuple(128, 1),  // the paper's configuration
+                      std::make_tuple(8, 2),    // 2-way
+                      std::make_tuple(16, 4),   // 4-way
+                      std::make_tuple(12, 2),   // non-power-of-two sets
+                      std::make_tuple(8, 0)));  // fully associative
 
 }  // namespace
