@@ -2,7 +2,10 @@
 // the DATE'18 case study: full exhaustive co-design (and the multi-start
 // hybrid search) at 1/2/4/8 threads, verifying along the way that every
 // run returns the identical best schedule and evaluation counts as the
-// serial baseline (the engine's determinism contract).
+// serial baseline (the engine's determinism contract). A final section
+// sweeps parallel_for chunk sizes on a deterministic heavy-tailed
+// synthetic load (most items cheap, a few ~100x — the shape feasibility
+// early-outs give candidate evaluation).
 //
 //   ./build/bench/bench_parallel_scaling          # full paper case study
 //   ./build/bench/bench_parallel_scaling --fast   # reduced design budget
@@ -125,6 +128,50 @@ int main(int argc, char** argv) {
     std::printf("  %zu threads %8.2fs  speedup %5.2fx  %s\n", threads,
                 r.seconds, hserial.seconds / r.seconds,
                 same ? "identical result" : "RESULT MISMATCH");
+  }
+
+  std::printf("\n== chunked parallel_for, heavy-tailed synthetic load ==\n");
+  // Item i costs ~40 work units, except 1 in 16 items which cost ~100x
+  // (deterministic via mix64). Chunk 1 claims one item per atomic, the
+  // default (~8 chunks/thread, capped 64) amortizes the claim while
+  // bounding how many items a straggler chunk can strand.
+  constexpr std::size_t kItems = 4096;
+  auto item_cost = [](std::size_t i) -> std::uint64_t {
+    const std::uint64_t r = core::mix64(static_cast<std::uint64_t>(i));
+    return 40 + (r % 16 == 0 ? 4000 : 0) + r % 64;
+  };
+  auto spin = [&](std::size_t i) {
+    double x = 1.0;
+    for (std::uint64_t k = item_cost(i) * 100; k > 0; --k) {
+      x = x * 1.0000001 + 1e-9;
+    }
+    volatile double sink = x;
+    (void)sink;
+  };
+  double chunk_serial = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kItems; ++i) spin(i);
+    chunk_serial = seconds_since(t0);
+    std::printf("  serial                %8.3fs\n", chunk_serial);
+  }
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    core::ThreadPool pool(threads);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{0},
+                                    std::size_t{16}, std::size_t{64}}) {
+      const auto t0 = Clock::now();
+      pool.parallel_for(kItems, chunk, spin);
+      const double secs = seconds_since(t0);
+      char label[32];
+      if (chunk == 0) {
+        std::snprintf(label, sizeof label, "default(%zu)",
+                      core::ThreadPool::default_chunk(kItems, threads + 1));
+      } else {
+        std::snprintf(label, sizeof label, "%zu", chunk);
+      }
+      std::printf("  %zu threads chunk=%-11s %8.3fs  speedup %5.2fx\n",
+                  threads, label, secs, chunk_serial / secs);
+    }
   }
 
   if (!consistent) {

@@ -68,6 +68,16 @@ ScheduleEvaluation Evaluator::evaluate(const sched::PeriodicSchedule& s) {
   return evaluate(sched::InterleavedSchedule::from_periodic(s));
 }
 
+const ScheduleEvaluation& Evaluator::evaluate_cached(
+    const sched::InterleavedSchedule& s) {
+  return evaluate_cached(s, s.to_string());
+}
+
+const ScheduleEvaluation& Evaluator::evaluate_cached(
+    const sched::InterleavedSchedule& s, const std::string& key) {
+  return schedule_memo_.get_or_compute(key, [&] { return evaluate(s); });
+}
+
 ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
   ScheduleEvaluation out;
   out.timing = sched::derive_timing(wcets_, s);

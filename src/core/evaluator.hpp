@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "core/parallel.hpp"
@@ -40,11 +41,12 @@ struct ScheduleEvaluation {
 /// Evaluates schedules for a fixed SystemModel. Holds the WCET analysis
 /// results and a memo of per-application designs.
 ///
-/// Thread-safe: evaluate() may be called concurrently (the design memo is
-/// a sharded compute-once map, the counters are atomic), which is what the
-/// parallel search engine in opt/discrete_search relies on. Results are
-/// deterministic: a design is computed exactly once per timing pattern and
-/// design_controller itself is deterministic.
+/// Thread-safe: evaluate() and evaluate_cached() may be called
+/// concurrently (the design and schedule memos are sharded compute-once
+/// maps, the counters are atomic), which is what the parallel search
+/// engines in opt/discrete_search and core/interleaved_codesign rely on.
+/// Results are deterministic: a design is computed exactly once per timing
+/// pattern and design_controller itself is deterministic.
 class Evaluator {
 public:
   /// Runs the cache/WCET analysis once up front.
@@ -62,6 +64,19 @@ public:
   ScheduleEvaluation evaluate(const sched::PeriodicSchedule& s);
   ScheduleEvaluation evaluate(const sched::InterleavedSchedule& s);
 
+  /// Memoized whole-schedule evaluation, keyed on the canonical segment
+  /// string: however many searches (or threads) revisit a segment pattern,
+  /// its timing derivation and per-app designs run once. The reference
+  /// stays valid for the evaluator's lifetime (sharded compute-once map).
+  const ScheduleEvaluation& evaluate_cached(const sched::InterleavedSchedule& s);
+  /// Same, for callers that already hold the canonical key (s.to_string())
+  /// and shouldn't pay for building it twice.
+  const ScheduleEvaluation& evaluate_cached(const sched::InterleavedSchedule& s,
+                                            const std::string& key);
+
+  /// Distinct schedules evaluated through evaluate_cached().
+  int schedule_evaluations() const { return static_cast<int>(schedule_memo_.size()); }
+
   /// Number of per-application designs actually run (cache misses).
   int designs_run() const noexcept { return designs_run_.load(); }
   /// Number of per-application design requests (incl. memo hits).
@@ -77,6 +92,7 @@ private:
   control::DesignOptions design_opts_;
   std::vector<sched::AppWcet> wcets_;
   ConcurrentMemoMap<MemoKey, AppEvaluation, IndexedVectorHash> memo_;
+  ConcurrentMemoMap<std::string, ScheduleEvaluation> schedule_memo_;
   std::atomic<int> designs_run_{0};
   std::atomic<int> design_requests_{0};
 };

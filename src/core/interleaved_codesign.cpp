@@ -1,7 +1,7 @@
 #include "core/interleaved_codesign.hpp"
 
-#include <map>
 #include <stdexcept>
+#include <vector>
 
 namespace catsched::core {
 
@@ -87,7 +87,7 @@ std::vector<InterleavedSchedule> interleaved_neighbors(
 
 InterleavedSearchResult interleaved_search(
     Evaluator& evaluator, const InterleavedSchedule& start,
-    const InterleavedSearchOptions& opts) {
+    const InterleavedSearchOptions& opts, ThreadPool* pool) {
   if (!evaluator.idle_feasible(start)) {
     throw std::invalid_argument(
         "interleaved_search: start violates the idle-time constraint");
@@ -95,15 +95,17 @@ InterleavedSearchResult interleaved_search(
 
   InterleavedSearchResult res;
   // Dedup on the canonical string so re-visits cost nothing and the
-  // evaluation count matches "distinct schedules evaluated".
-  std::map<std::string, ScheduleEvaluation> memo;
-  const auto evaluate = [&](const InterleavedSchedule& s) {
+  // evaluation count matches "distinct schedules evaluated" for THIS
+  // search. The values point into the evaluator's own schedule memo, so
+  // patterns shared with other searches (or earlier steps) are still
+  // computed only once process-wide. Both maps are sharded compute-once
+  // structures, so concurrent batch evaluation below needs no extra locks.
+  ConcurrentMemoMap<std::string, const ScheduleEvaluation*> memo;
+  const auto evaluate =
+      [&](const InterleavedSchedule& s) -> const ScheduleEvaluation& {
     const std::string key = s.to_string();
-    auto it = memo.find(key);
-    if (it == memo.end()) {
-      it = memo.emplace(key, evaluator.evaluate(s)).first;
-    }
-    return it->second;
+    return *memo.get_or_compute(
+        key, [&] { return &evaluator.evaluate_cached(s, key); });
   };
 
   InterleavedSchedule current = start;
@@ -116,8 +118,6 @@ InterleavedSearchResult interleaved_search(
   }
 
   for (int step = 0; step < opts.max_steps; ++step) {
-    const InterleavedSchedule* next = nullptr;
-    ScheduleEvaluation next_eval;
     const auto neighbors = interleaved_neighbors(current, opts);
     std::vector<InterleavedSchedule> kept;
     kept.reserve(neighbors.size());
@@ -126,11 +126,21 @@ InterleavedSearchResult interleaved_search(
       kept.push_back(cand);
     }
     // Steepest ascent: evaluate every feasible neighbor, take the best.
-    for (const auto& cand : kept) {
-      const ScheduleEvaluation eval = evaluate(cand);
+    // The batch fans out over the pool into index-addressed slots (memo
+    // hits return instantly, misses run the full WCET + design pipeline —
+    // high variance, hence the small chunks); the reduction below walks
+    // the slots serially in neighbor order, so the chosen move — and with
+    // it the whole accepted path — is bit-identical to the serial run.
+    std::vector<const ScheduleEvaluation*> evals(kept.size(), nullptr);
+    parallel_for(pool, kept.size(), opts.chunk,
+                 [&](std::size_t k) { evals[k] = &evaluate(kept[k]); });
+    const InterleavedSchedule* next = nullptr;
+    ScheduleEvaluation next_eval;
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      const ScheduleEvaluation& eval = *evals[k];
       if (!eval.feasible()) continue;
       if (next == nullptr || eval.pall > next_eval.pall) {
-        next = &cand;
+        next = &kept[k];
         next_eval = eval;
       }
     }

@@ -5,6 +5,15 @@
 ///        a burst, move a task into a new segment, swap segments -- driven
 ///        by the same expensive evaluation as the periodic search, with a
 ///        hill climb + tolerance acceptance rule.
+///
+/// Parallel/serial contract: with a ThreadPool each step's feasible
+/// neighbor candidates are batch-evaluated through a chunked parallel_for
+/// into index-addressed slots and reduced serially in neighbor order, and
+/// every evaluation goes through the Evaluator's sharded compute-once
+/// schedule memo — so the accepted path, best schedule, and the
+/// distinct-evaluation count are bit-identical to the serial run (enforced
+/// by test_interleaved_search). The pool is opt-in; the default (nullptr)
+/// evaluates serially, exactly like core/codesign.
 
 #include <set>
 #include <string>
@@ -19,6 +28,10 @@ struct InterleavedSearchOptions {
   int max_steps = 60;          ///< accepted moves cap
   int max_segments = 8;        ///< segment-count cap (schedule complexity)
   int max_burst = 16;          ///< per-segment count cap
+  std::size_t chunk = 0;       ///< parallel_for chunk size (0 = default);
+                               ///< candidates have high cost variance
+                               ///< (feasibility early-outs), so small
+                               ///< chunks keep workers from starving
 };
 
 /// Outcome of the interleaved search.
@@ -44,10 +57,12 @@ std::vector<sched::InterleavedSchedule> interleaved_neighbors(
 
 /// Steepest-ascent local search from \p start over interleaved schedules,
 /// evaluating through \p evaluator (idle-infeasible neighbors are skipped
-/// before any controller design runs).
+/// before any controller design runs). With a \p pool, each step's
+/// feasible neighbors are evaluated concurrently and reduced serially —
+/// bit-identical results to the serial run (see the file header).
 /// \throws std::invalid_argument if start is idle-infeasible.
 InterleavedSearchResult interleaved_search(
     Evaluator& evaluator, const sched::InterleavedSchedule& start,
-    const InterleavedSearchOptions& opts = {});
+    const InterleavedSearchOptions& opts = {}, ThreadPool* pool = nullptr);
 
 }  // namespace catsched::core

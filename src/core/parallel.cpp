@@ -55,11 +55,12 @@ namespace {
 /// tasks may be dequeued after the loop already finished (they then see
 /// next >= n and return without touching body).
 struct ForLoopState {
-  explicit ForLoopState(std::size_t total,
-                        const std::function<void(std::size_t)>& b)
-      : n(total), body(b) {}
+  ForLoopState(std::size_t total, std::size_t chunk_size,
+               const std::function<void(std::size_t)>& b)
+      : n(total), chunk(chunk_size == 0 ? 1 : chunk_size), body(b) {}
 
   const std::size_t n;
+  const std::size_t chunk;
   const std::function<void(std::size_t)>& body;  // outlives wait (see below)
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
@@ -67,18 +68,24 @@ struct ForLoopState {
   std::condition_variable cv;
   std::exception_ptr error;  // first failure, guarded by mu
 
-  /// Claim and run iterations until the index space is exhausted.
+  /// Claim and run chunks of iterations until the index space is
+  /// exhausted. One atomic increment claims `chunk` consecutive indices;
+  /// completion is tracked per chunk, not per iteration.
   void drain() {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!error) error = std::current_exception();
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      const std::size_t count = end - begin;
+      if (done.fetch_add(count, std::memory_order_acq_rel) + count == n) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
       }
@@ -88,19 +95,34 @@ struct ForLoopState {
 
 }  // namespace
 
+std::size_t ThreadPool::default_chunk(std::size_t n,
+                                      std::size_t participants) noexcept {
+  if (participants == 0) participants = 1;
+  const std::size_t chunk = n / (8 * participants);
+  return std::clamp<std::size_t>(chunk, 1, 64);
+}
+
 void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for(n, 0, body);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  if (chunk == 0) chunk = default_chunk(n, workers_.size() + 1);
   // `body` is only dereferenced by drain() while an index < n is claimed;
   // once the caller observed done == n every claimable index is gone, so
   // stragglers dequeued later exit immediately and the reference to the
   // caller's (by then dead) body is never followed.
-  auto state = std::make_shared<ForLoopState>(n, body);
-  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  auto state = std::make_shared<ForLoopState>(n, chunk, body);
+  // Only as many helpers as there are chunks beyond the caller's first.
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
   for (std::size_t i = 0; i < helpers; ++i) {
     post([state] { state->drain(); });
   }
@@ -121,8 +143,13 @@ ThreadPool& ThreadPool::shared() {
 
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
+  parallel_for(pool, n, 0, body);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& body) {
   if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(n, body);
+    pool->parallel_for(n, chunk, body);
   } else {
     for (std::size_t i = 0; i < n; ++i) body(i);
   }

@@ -63,7 +63,27 @@ public:
   /// exception thrown by any iteration is rethrown here (the remaining
   /// iterations still run). Iteration order across threads is unspecified;
   /// callers needing determinism must write to per-index slots.
+  ///
+  /// Scheduling is dynamic in chunks of default_chunk() iterations: threads
+  /// claim the next unclaimed chunk from a shared atomic index, so a few
+  /// expensive iterations (e.g. candidates that survive the feasibility
+  /// early-outs) cannot strand the rest of the index space on one worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Same, with an explicit chunk size (iterations claimed per atomic
+  /// increment). chunk == 0 means default_chunk(n). Larger chunks amortize
+  /// the claim for very cheap bodies; chunk 1 balances best when per-
+  /// iteration cost varies wildly.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& body);
+
+  /// The low-variance default chunk size: aim for ~8 chunks per
+  /// participating thread (worst-case imbalance from one straggler chunk
+  /// stays a small fraction of a thread's share even under high
+  /// per-iteration cost variance), capped at 64 iterations so the tail
+  /// chunk of a huge loop cannot serialize on one worker. Always >= 1.
+  static std::size_t default_chunk(std::size_t n,
+                                   std::size_t participants) noexcept;
 
   /// Process-wide pool sized to the hardware (lazily created).
   static ThreadPool& shared();
@@ -81,6 +101,10 @@ private:
 /// Serial fallback helper: iterate inline when \p pool is null or has a
 /// single worker and nothing can actually run concurrently.
 void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Serial fallback helper with an explicit chunk size (0 = default).
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t chunk,
                   const std::function<void(std::size_t)>& body);
 
 /// splitmix64 finalizer: the avalanche stage used by all key hashes here.

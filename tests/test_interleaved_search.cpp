@@ -1,7 +1,9 @@
 /// \file test_interleaved_search.cpp
 /// \brief Interleaved-schedule search tests: neighbor-move validity
-///        (invariants preserved, caps respected), and the local search on a
-///        small synthetic system (must match or beat its periodic start).
+///        (invariants preserved, caps respected), the local search on a
+///        small synthetic system (must match or beat its periodic start),
+///        and the parallel contract — pooled runs at several chunk sizes
+///        must be bit-identical to the serial run.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,7 @@
 
 #include "core/case_study.hpp"
 #include "core/interleaved_codesign.hpp"
+#include "core/parallel.hpp"
 
 namespace {
 
@@ -138,6 +141,71 @@ TEST(InterleavedSearch, MatchesOrBeatsPeriodicStart) {
   EXPECT_GE(res.best_evaluation.pall, start_pall - 1e-9);
   EXPECT_GE(res.evaluations, 1);
   EXPECT_FALSE(res.path.empty());
+}
+
+TEST(InterleavedSearch, ParallelIsBitIdenticalToSerial) {
+  const auto start =
+      InterleavedSchedule::from_periodic(PeriodicSchedule({1, 1}));
+  InterleavedSearchOptions opts;
+  opts.max_steps = 3;
+  opts.max_segments = 4;
+  opts.max_burst = 4;
+
+  // Fresh evaluator per run so the schedule memo cannot leak results
+  // between modes; the equality below is the real determinism contract.
+  Evaluator serial_ev(tiny_system(), fast_options());
+  const auto serial = interleaved_search(serial_ev, start, opts);
+  ASSERT_TRUE(serial.found);
+
+  catsched::core::ThreadPool pool(4);
+  for (const std::size_t chunk :
+       {std::size_t{0}, std::size_t{1}, std::size_t{100}}) {
+    InterleavedSearchOptions popts = opts;
+    popts.chunk = chunk;
+    Evaluator parallel_ev(tiny_system(), fast_options());
+    const auto parallel = interleaved_search(parallel_ev, start, popts, &pool);
+    ASSERT_EQ(serial.found, parallel.found) << "chunk " << chunk;
+    EXPECT_EQ(serial.best.to_string(), parallel.best.to_string())
+        << "chunk " << chunk;
+    EXPECT_EQ(serial.best_evaluation.pall, parallel.best_evaluation.pall)
+        << "chunk " << chunk;
+    EXPECT_EQ(serial.steps, parallel.steps) << "chunk " << chunk;
+    // "Distinct schedules evaluated" must agree exactly, and so must the
+    // whole accepted path (the serial-reduction guarantee).
+    EXPECT_EQ(serial.evaluations, parallel.evaluations) << "chunk " << chunk;
+    EXPECT_EQ(serial.path, parallel.path) << "chunk " << chunk;
+    // Same design work done: each timing pattern designed exactly once.
+    EXPECT_EQ(serial_ev.designs_run(), parallel_ev.designs_run())
+        << "chunk " << chunk;
+    EXPECT_EQ(serial_ev.schedule_evaluations(),
+              parallel_ev.schedule_evaluations())
+        << "chunk " << chunk;
+  }
+}
+
+TEST(InterleavedSearch, EvaluatorScheduleMemoDeduplicatesAcrossSearches) {
+  // Two searches from the same start on one evaluator: the second search
+  // re-requests the same segment patterns but the evaluator-level memo
+  // hands the finished evaluations back without re-running any design.
+  Evaluator ev(tiny_system(), fast_options());
+  const auto start =
+      InterleavedSchedule::from_periodic(PeriodicSchedule({1, 1}));
+  InterleavedSearchOptions opts;
+  opts.max_steps = 2;
+  opts.max_segments = 4;
+  opts.max_burst = 4;
+
+  const auto first = interleaved_search(ev, start, opts);
+  const int designs_after_first = ev.designs_run();
+  const int schedules_after_first = ev.schedule_evaluations();
+  EXPECT_GT(schedules_after_first, 0);
+
+  const auto second = interleaved_search(ev, start, opts);
+  EXPECT_EQ(ev.designs_run(), designs_after_first);
+  EXPECT_EQ(ev.schedule_evaluations(), schedules_after_first);
+  // The repeat search still reports its own full accounting.
+  EXPECT_EQ(second.evaluations, first.evaluations);
+  EXPECT_EQ(second.path, first.path);
 }
 
 TEST(InterleavedSearch, ThrowsOnIdleInfeasibleStart) {

@@ -1,6 +1,7 @@
 /// \file test_parallel.cpp
 /// \brief Tests for the parallel design-space exploration engine: thread
-///        pool semantics (coverage, nesting, exceptions), the vector hash,
+///        pool semantics (coverage, chunked scheduling under high cost
+///        variance, nesting, exceptions), the vector hash,
 ///        the compute-once concurrent memo map, the thread-safe EvalCache,
 ///        and — the contract everything above exists for — bit-identical
 ///        serial-vs-parallel co-design results on a reduced DATE'18-style
@@ -49,6 +50,79 @@ TEST(ThreadPool, ParallelForHandlesEdgeSizes) {
   std::atomic<int> one_calls{0};
   pool.parallel_for(1, [&](std::size_t) { ++one_calls; });
   EXPECT_EQ(one_calls.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 1000;
+  // Chunk 1 (fully dynamic), an odd size that does not divide n, the
+  // low-variance default (0), exactly n, and past n (degenerates to one
+  // chunk drained by the caller).
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{0}, n, n + 17}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, chunk, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "chunk " << chunk << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForHandlesHighVarianceLoad) {
+  // Heavy-tailed per-item cost (deterministic via mix64: 1 in 8 items is
+  // ~100x the rest) — the starvation shape chunking exists for. Results
+  // written to per-index slots must match the serial run exactly.
+  constexpr std::size_t n = 512;
+  auto work = [](std::size_t i) {
+    const std::uint64_t r = mix64(static_cast<std::uint64_t>(i));
+    std::uint64_t iters = 20 + (r % 8 == 0 ? 2000 : 0);
+    double x = 1.0;
+    for (std::uint64_t k = 0; k < iters; ++k) x = x * 1.0001 + 1e-7;
+    return x;
+  };
+  std::vector<double> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = work(i);
+
+  ThreadPool pool(4);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{0},
+                                  std::size_t{64}}) {
+    std::vector<double> out(n, 0.0);
+    pool.parallel_for(n, chunk, [&](std::size_t i) { out[i] = work(i); });
+    EXPECT_EQ(out, serial) << "chunk " << chunk;
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForNests) {
+  // Chunked outer loop whose body runs a chunked inner loop on the same
+  // pool: the caller-participates rule must keep this deadlock-free for
+  // every chunk-size combination.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, 3, [&](std::size_t) {
+    pool.parallel_for(8, 2, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, DefaultChunkIsLowVarianceAndBounded) {
+  // Tiny loops: one item per claim (best balance under cost variance).
+  EXPECT_EQ(ThreadPool::default_chunk(0, 4), 1u);
+  EXPECT_EQ(ThreadPool::default_chunk(1, 4), 1u);
+  EXPECT_EQ(ThreadPool::default_chunk(30, 4), 1u);
+  // ~8 chunks per participant once the loop is big enough.
+  EXPECT_EQ(ThreadPool::default_chunk(320, 4), 10u);
+  // Capped so a huge loop's straggler chunk stays bounded.
+  EXPECT_EQ(ThreadPool::default_chunk(1u << 20, 2), 64u);
+  // Degenerate participant count never divides by zero.
+  EXPECT_GE(ThreadPool::default_chunk(100, 0), 1u);
+}
+
+TEST(ThreadPool, ChunkedSerialFallbackHelperRunsInline) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5, 2, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Docs hygiene gate (run from the repo root; CI runs it on every push):
+#   * every src/<module>/ directory must be covered in docs/ARCHITECTURE.md
+#   * every bench/bench_*.cpp target must be covered in docs/BENCHMARKS.md
+#   * README must link both documents
+# Exits non-zero listing everything missing, so adding a module or bench
+# without documenting it fails the build.
+set -u
+
+fail=0
+
+if [ ! -f docs/ARCHITECTURE.md ]; then
+  echo "check_docs: docs/ARCHITECTURE.md is missing"
+  exit 1
+fi
+if [ ! -f docs/BENCHMARKS.md ]; then
+  echo "check_docs: docs/BENCHMARKS.md is missing"
+  exit 1
+fi
+
+for dir in src/*/; do
+  mod=$(basename "$dir")
+  # grep -w: "src/cache" must not be satisfied by e.g. "src/cache_foo".
+  if ! grep -qw "src/$mod" docs/ARCHITECTURE.md; then
+    echo "check_docs: module src/$mod is not documented in docs/ARCHITECTURE.md"
+    fail=1
+  fi
+done
+
+for bench in bench/bench_*.cpp; do
+  name=$(basename "$bench" .cpp)
+  # grep -w: "bench_parallel" must not match inside "bench_parallel_scaling"
+  # ('_' is a word constituent, so -w rejects the prefix match).
+  if ! grep -qw "$name" docs/BENCHMARKS.md; then
+    echo "check_docs: bench target $name is not documented in docs/BENCHMARKS.md"
+    fail=1
+  fi
+done
+
+for doc in docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
+  if ! grep -q "$doc" README.md; then
+    echo "check_docs: README.md does not link $doc"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: all modules, bench targets, and README links covered"
+fi
+exit "$fail"
