@@ -90,31 +90,56 @@ int main(int argc, char** argv) {
 
   // Fresh evaluator per run: the evaluator's schedule memo would otherwise
   // hand later runs the earlier runs' designs for free and skew the sweep.
-  auto run = [&](core::ThreadPool* pool, double* secs) {
-    core::Evaluator ev(sys, dopts);
+  // The pool reaches both layers: the search batches neighbor schedules
+  // and the evaluator batches each schedule's per-app designs (nested
+  // parallel_for on the same pool). The design-memo hit rate separates the
+  // two effects: hits are memo wins, misses are the batched design kernel.
+  struct Counters {
+    int runs = 0;
+    int requests = 0;
+  };
+  auto run = [&](core::ThreadPool* pool, double* secs, Counters* c) {
+    core::Evaluator ev(sys, dopts, pool);
     const auto t0 = Clock::now();
     const auto r = core::interleaved_search(ev, start, iopts, pool);
     *secs = seconds_since(t0);
+    c->runs = ev.designs_run();
+    c->requests = ev.design_requests();
     return r;
+  };
+  auto hit_pct = [](const Counters& c) {
+    return c.requests > 0
+               ? 100.0 * static_cast<double>(c.requests - c.runs) /
+                     static_cast<double>(c.requests)
+               : 0.0;
   };
 
   std::printf("\n== interleaved_search thread sweep ==\n");
   double serial_secs = 0.0;
-  const auto serial = run(nullptr, &serial_secs);
+  Counters serial_counters;
+  const auto serial = run(nullptr, &serial_secs, &serial_counters);
   std::printf("  serial    %8.2fs  best=%s  Pall=%.4f  (%d distinct, %d "
               "steps)\n",
               serial_secs, serial.best.to_string().c_str(),
               serial.best_evaluation.pall, serial.evaluations, serial.steps);
+  std::printf("            design memo: %d designs / %d requests "
+              "(%.1f%% hits)\n",
+              serial_counters.runs, serial_counters.requests,
+              hit_pct(serial_counters));
 
   bool consistent = true;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     core::ThreadPool pool(threads);
     double secs = 0.0;
-    const auto r = run(&pool, &secs);
-    const bool same = same_result(serial, r);
+    Counters c;
+    const auto r = run(&pool, &secs, &c);
+    const bool same = same_result(serial, r) &&
+                      c.runs == serial_counters.runs &&
+                      c.requests == serial_counters.requests;
     consistent = consistent && same;
-    std::printf("  %zu thread%s %8.2fs  speedup %5.2fx  %s\n", threads,
-                threads == 1 ? " " : "s", secs, serial_secs / secs,
+    std::printf("  %zu thread%s %8.2fs  speedup %5.2fx  designs %d/%d  %s\n",
+                threads, threads == 1 ? " " : "s", secs, serial_secs / secs,
+                c.runs, c.requests,
                 same ? "identical result" : "RESULT MISMATCH");
   }
 

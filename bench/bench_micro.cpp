@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "cache/static_wcet.hpp"
 #include "cache/structure.hpp"
 #include "cache/wcet.hpp"
@@ -223,6 +226,50 @@ void BM_AbstractCacheEquality(benchmark::State& state) {
 }
 BENCHMARK(BM_AbstractCacheEquality);
 
+// ---------------------------------------------------------- design kernels
+// The controller-design hot path (ISSUE 3): everything design_controller
+// runs per PSO particle, plus the full design. Regressions here multiply
+// into every schedule the search engines touch.
+
+void BM_DlqrSolve(benchmark::State& state) {
+  const auto timing = sched::derive_timing(sys().analyze_wcets(),
+                                           sched::PeriodicSchedule({3, 2, 3}));
+  const auto raw = control::discretize_phases(sys().apps[0].plant,
+                                              timing.apps[0].intervals);
+  const auto ph = control::augment_phase(raw[0]);
+  const linalg::Matrix q = linalg::Matrix::identity(ph.a.rows());
+  const linalg::Matrix r{{1.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control::dlqr(ph.a, ph.b, q, r));
+  }
+}
+BENCHMARK(BM_DlqrSolve);
+
+// One PSO particle's full evaluation: closed-loop monodromy + spectral
+// radius (stability barrier), exact feedforward, then the dense switched
+// simulation — the body design_cost runs thousands of times per design.
+void BM_PsoParticleEval(benchmark::State& state) {
+  const auto timing = sched::derive_timing(sys().analyze_wcets(),
+                                           sched::PeriodicSchedule({3, 2, 3}));
+  const auto& a = sys().apps[0];
+  control::SwitchedSimulator sim(a.plant, timing.apps[0].intervals, 1e-4);
+  const control::Equilibrium eq = control::equilibrium_at(a.plant, a.y0);
+  std::vector<linalg::Matrix> k(sim.num_phases(),
+                                linalg::Matrix{{-1e-4, -1e-6}});
+  control::SimOptions so;
+  so.r = a.r;
+  so.horizon = 1.6 * a.smax;
+  for (auto _ : state) {
+    const double rho =
+        linalg::spectral_radius(control::closed_loop_monodromy(sim.phases(), k));
+    benchmark::DoNotOptimize(rho);
+    auto f = control::exact_feedforward(sim.phases(), a.plant.c, k);
+    control::PhaseGains g{k, f ? *f : std::vector<double>(k.size(), 0.0)};
+    benchmark::DoNotOptimize(sim.simulate(g, eq.x, eq.u, so));
+  }
+}
+BENCHMARK(BM_PsoParticleEval);
+
 void BM_FullControllerDesign(benchmark::State& state) {
   const auto timing = sched::derive_timing(sys().analyze_wcets(),
                                            sched::PeriodicSchedule({3, 2, 3}));
@@ -243,4 +290,26 @@ BENCHMARK(BM_FullControllerDesign)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so CI can run `bench_micro --fast`: a smoke pass (tiny
+// min_time) that still executes every kernel, failing the build on compile
+// or runtime regressions in the design/cache hot paths (mirrors
+// bench_interleaved --fast).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool fast = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  char min_time[] = "--benchmark_min_time=0.01";
+  if (fast) args.push_back(min_time);
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

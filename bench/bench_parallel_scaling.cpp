@@ -49,7 +49,18 @@ struct RunResult {
   double pall = 0.0;
   int enumerated = 0;
   int designs_run = 0;
+  int design_requests = 0;
 };
+
+/// Design-memo hit rate of one run: hits are memo wins, misses are the
+/// batched design kernel actually executing — printing both attributes a
+/// speedup to the right layer.
+double hit_pct(const RunResult& r) {
+  return r.design_requests > 0
+             ? 100.0 * static_cast<double>(r.design_requests - r.designs_run) /
+                   static_cast<double>(r.design_requests)
+             : 0.0;
+}
 
 }  // namespace
 
@@ -67,8 +78,11 @@ int main(int argc, char** argv) {
   std::printf("hardware threads: %zu%s\n", core::hardware_threads(),
               fast ? "   (--fast design budget)" : "");
 
+  // The pool reaches both layers: exhaustive_codesign batches candidate
+  // schedules, and the evaluator batches each schedule's per-app designs
+  // plus every design's PSO generations (nested parallel_for).
   auto run_exhaustive = [&](core::ThreadPool* pool) {
-    core::Evaluator ev(sys, design);
+    core::Evaluator ev(sys, design, pool);
     const auto t0 = Clock::now();
     const auto res = core::exhaustive_codesign(ev, hopts, pool);
     RunResult r;
@@ -77,15 +91,17 @@ int main(int argc, char** argv) {
     r.pall = res.details.best_value;
     r.enumerated = res.details.enumerated;
     r.designs_run = ev.designs_run();
+    r.design_requests = ev.design_requests();
     return r;
   };
 
   std::printf("\n== exhaustive_codesign (DATE'18 case study) ==\n");
   const RunResult serial = run_exhaustive(nullptr);
   std::printf("  serial    %8.2fs  best=(%d,%d,%d) Pall=%.4f "
-              "enumerated=%d designs=%d\n",
+              "enumerated=%d designs=%d/%d (%.1f%% memo hits)\n",
               serial.seconds, serial.best[0], serial.best[1], serial.best[2],
-              serial.pall, serial.enumerated, serial.designs_run);
+              serial.pall, serial.enumerated, serial.designs_run,
+              serial.design_requests, hit_pct(serial));
 
   bool consistent = true;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -93,11 +109,12 @@ int main(int argc, char** argv) {
     const RunResult r = run_exhaustive(&pool);
     const bool same = r.best == serial.best && r.pall == serial.pall &&
                       r.enumerated == serial.enumerated &&
-                      r.designs_run == serial.designs_run;
+                      r.designs_run == serial.designs_run &&
+                      r.design_requests == serial.design_requests;
     consistent = consistent && same;
-    std::printf("  %zu thread%s %8.2fs  speedup %5.2fx  %s\n", threads,
-                threads == 1 ? " " : "s", r.seconds,
-                serial.seconds / r.seconds,
+    std::printf("  %zu thread%s %8.2fs  speedup %5.2fx  designs %d/%d  %s\n",
+                threads, threads == 1 ? " " : "s", r.seconds,
+                serial.seconds / r.seconds, r.designs_run, r.design_requests,
                 same ? "identical result" : "RESULT MISMATCH");
   }
 
@@ -105,7 +122,7 @@ int main(int argc, char** argv) {
   const std::vector<std::vector<int>> starts{{4, 2, 2}, {1, 2, 1},
                                              {2, 2, 2}, {1, 1, 1}};
   auto run_hybrid = [&](core::ThreadPool* pool) {
-    core::Evaluator ev(sys, design);
+    core::Evaluator ev(sys, design, pool);
     const auto t0 = Clock::now();
     const auto res = core::find_optimal_schedule(ev, starts, hopts, pool);
     RunResult r;
@@ -113,20 +130,27 @@ int main(int argc, char** argv) {
     r.best = res.best_schedule.bursts();
     r.pall = res.best_evaluation.pall;
     r.enumerated = res.schedules_evaluated;
+    r.designs_run = ev.designs_run();
+    r.design_requests = ev.design_requests();
     return r;
   };
   const RunResult hserial = run_hybrid(nullptr);
-  std::printf("  serial    %8.2fs  best=(%d,%d,%d) Pall=%.4f evals=%d\n",
+  std::printf("  serial    %8.2fs  best=(%d,%d,%d) Pall=%.4f evals=%d "
+              "designs=%d/%d (%.1f%% memo hits)\n",
               hserial.seconds, hserial.best[0], hserial.best[1],
-              hserial.best[2], hserial.pall, hserial.enumerated);
+              hserial.best[2], hserial.pall, hserial.enumerated,
+              hserial.designs_run, hserial.design_requests, hit_pct(hserial));
   for (const std::size_t threads : {2u, 4u, 8u}) {
     core::ThreadPool pool(threads);
     const RunResult r = run_hybrid(&pool);
     const bool same = r.best == hserial.best && r.pall == hserial.pall &&
-                      r.enumerated == hserial.enumerated;
+                      r.enumerated == hserial.enumerated &&
+                      r.designs_run == hserial.designs_run &&
+                      r.design_requests == hserial.design_requests;
     consistent = consistent && same;
-    std::printf("  %zu threads %8.2fs  speedup %5.2fx  %s\n", threads,
-                r.seconds, hserial.seconds / r.seconds,
+    std::printf("  %zu threads %8.2fs  speedup %5.2fx  designs %d/%d  %s\n",
+                threads, r.seconds, hserial.seconds / r.seconds,
+                r.designs_run, r.design_requests,
                 same ? "identical result" : "RESULT MISMATCH");
   }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "control/pole_place.hpp"
+#include "core/parallel.hpp"
 #include "opt/pattern_search.hpp"
 #include "linalg/eig.hpp"
 
@@ -117,7 +118,8 @@ DesignResult report_for(const EvalContext& ctx,
 
 DesignResult design_controller(const DesignSpec& spec,
                                const std::vector<sched::Interval>& intervals,
-                               const DesignOptions& opts) {
+                               const DesignOptions& opts,
+                               core::ThreadPool* pool) {
   spec.plant.validate();
   if (spec.smax <= 0.0 || spec.umax <= 0.0) {
     throw std::invalid_argument("design_controller: smax/umax must be > 0");
@@ -156,8 +158,11 @@ DesignResult design_controller(const DesignSpec& spec,
   tau_bar = std::min(tau_bar / static_cast<double>(m), h_bar);
   const PhaseDynamics avg = discretize_interval(spec.plant, h_bar, tau_bar);
 
-  int grid_evals = 0;
-  std::vector<std::pair<double, std::vector<double>>> ranked;
+  // Candidate generation is serial and deterministic; the expensive part —
+  // design_cost, a full switched simulation per candidate — is batched
+  // below into index-addressed slots (parallel when a pool is given) and
+  // ranked in generation order, identical to evaluating inline.
+  std::vector<std::vector<double>> grid;
   for (double radius : opts.seed_pole_radii) {
     for (double angle : opts.seed_pole_angles) {
       std::vector<std::complex<double>> poles;
@@ -178,8 +183,7 @@ DesignResult design_controller(const DesignSpec& spec,
         for (std::size_t j = 0; j < m; ++j) {
           for (std::size_t q = 0; q < l; ++q) seed[j * l + q] = k0(0, q);
         }
-        ranked.emplace_back(design_cost(ctx, seed), std::move(seed));
-        ++grid_evals;
+        grid.push_back(std::move(seed));
       } catch (const std::exception&) {
         // uncontrollable surrogate at this rate: skip this candidate
       }
@@ -198,10 +202,7 @@ DesignResult design_controller(const DesignSpec& spec,
             ok = false;
           }
         }
-        if (ok) {
-          ranked.emplace_back(design_cost(ctx, seed), std::move(seed));
-          ++grid_evals;
-        }
+        if (ok) grid.push_back(std::move(seed));
       }
       // Candidate 3: equalized continuous-time rate -- phase j places the
       // pattern at radius^(h_j / h_bar), so every interval contracts at the
@@ -230,12 +231,32 @@ DesignResult design_controller(const DesignSpec& spec,
             ok = false;
           }
         }
-        if (ok) {
-          ranked.emplace_back(design_cost(ctx, seed), std::move(seed));
-          ++grid_evals;
-        }
+        if (ok) grid.push_back(std::move(seed));
       }
     }
+  }
+  // Batch-evaluate the grid: index-addressed cost slots, serial ranking.
+  // A candidate whose evaluation fails numerically (QR non-convergence on
+  // a degenerate closed loop — a runtime_error) is dropped, like an
+  // uncontrollable seed above: one bad grid point must not abort the whole
+  // design. logic_errors (dimension mismatches) still propagate — those
+  // are bugs and must surface, per the Matrix contract.
+  std::vector<double> grid_cost(grid.size());
+  std::vector<char> grid_failed(grid.size(), 0);
+  core::parallel_for(pool, grid.size(), [&](std::size_t i) {
+    try {
+      grid_cost[i] = design_cost(ctx, grid[i]);
+    } catch (const std::runtime_error&) {
+      grid_failed[i] = 1;
+    }
+  });
+  int grid_evals = 0;
+  std::vector<std::pair<double, std::vector<double>>> ranked;
+  ranked.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid_failed[i]) continue;
+    ranked.emplace_back(grid_cost[i], std::move(grid[i]));
+    ++grid_evals;
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -264,7 +285,16 @@ DesignResult design_controller(const DesignSpec& spec,
   }
 
   const auto objective = [&](const std::vector<double>& theta) {
-    return design_cost(ctx, theta);
+    // Same policy as the seed grid: a numerically degenerate candidate
+    // (QR non-convergence in the stability barrier) is penalized out of
+    // contention, never fatal, while logic_errors propagate. The PSO
+    // batch hook below routes through this exact callable so serial and
+    // pooled runs stay bit-identical.
+    try {
+      return design_cost(ctx, theta);
+    } catch (const std::runtime_error&) {
+      return std::numeric_limits<double>::infinity();
+    }
   };
   // Scale the swarm with problem dimension and restart with fresh draws;
   // the evaluation cost is tiny next to the paper's MATLAB runtimes.
@@ -274,6 +304,18 @@ DesignResult design_controller(const DesignSpec& spec,
     pso.particles = std::max(pso.particles, 12 * dims + 24);
     pso.iterations = std::max(pso.iterations, 20 * dims + 80);
     pso.stall_iterations = std::max(pso.stall_iterations, 40);
+  }
+  if (pool != nullptr) {
+    // Fan each swarm generation across the pool; the swarm's serial
+    // reduction keeps results bit-identical to the particle-by-particle
+    // loop (the objective is pure, including its exception policy).
+    pso.batch_eval = [&objective,
+                      pool](const std::vector<std::vector<double>>& xs,
+                            std::vector<double>& costs) {
+      core::parallel_for(pool, xs.size(), [&](std::size_t i) {
+        costs[i] = objective(xs[i]);
+      });
+    };
   }
 
   std::vector<double> best;
@@ -304,6 +346,19 @@ DesignResult design_controller(const DesignSpec& spec,
   evals += pol.evaluations;
   if (pol.cost < best_cost) best = pol.x;
   return report_for(ctx, best, evals);
+}
+
+std::vector<DesignResult> design_batch(
+    const std::vector<DesignProblem>& problems, const DesignOptions& opts,
+    core::ThreadPool* pool) {
+  std::vector<DesignResult> results(problems.size());
+  // Problems land in index-addressed slots; each design may itself batch
+  // its particle generations on the same pool (parallel_for nests safely).
+  core::parallel_for(pool, problems.size(), [&](std::size_t i) {
+    results[i] =
+        design_controller(problems[i].spec, problems[i].intervals, opts, pool);
+  });
+  return results;
 }
 
 DesignResult evaluate_gains(const DesignSpec& spec,

@@ -17,6 +17,10 @@
 #include "control/switched.hpp"
 #include "opt/pso.hpp"
 
+namespace catsched::core {
+class ThreadPool;  // core/parallel.hpp; control only holds a pointer
+}
+
 namespace catsched::control {
 
 /// Control-side requirements of one application (paper Sec. II-A).
@@ -63,10 +67,35 @@ struct DesignResult {
 /// Design per-phase gains for the application over the given schedule
 /// timing intervals and report the worst-case settling time (reference step
 /// at the start of the longest interval, the paper's conservative phase).
+///
+/// With a non-null \p pool, the two candidate-evaluation batches inside the
+/// search — the Ackermann seed grid and every PSO generation — are fanned
+/// across the pool's workers into index-addressed cost slots and reduced
+/// serially, so the result is bit-identical to the serial run at every
+/// thread count (the determinism contract of core/parallel.hpp, enforced
+/// by tests/test_design_batch.cpp).
 /// \throws std::invalid_argument on bad spec/intervals.
 DesignResult design_controller(const DesignSpec& spec,
                                const std::vector<sched::Interval>& intervals,
-                               const DesignOptions& opts = {});
+                               const DesignOptions& opts = {},
+                               core::ThreadPool* pool = nullptr);
+
+/// One candidate of a batched design: an application's control spec plus
+/// the timing pattern a schedule hands it.
+struct DesignProblem {
+  DesignSpec spec;
+  std::vector<sched::Interval> intervals;
+};
+
+/// Batched holistic design: run design_controller for every problem,
+/// fanning the problems (and, nested, each problem's particle batches)
+/// across \p pool. Results are returned in problem order and are
+/// bit-identical to calling design_controller serially on each problem —
+/// the batch only decides *where* candidates are evaluated, never *what*.
+/// Used by core::Evaluator to design all apps of one schedule at once.
+std::vector<DesignResult> design_batch(
+    const std::vector<DesignProblem>& problems, const DesignOptions& opts = {},
+    core::ThreadPool* pool = nullptr);
 
 /// Evaluate a fixed set of gains against a spec/timing (used by ablation
 /// benches and tests): same metrics as design_controller, no search.

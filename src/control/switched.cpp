@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "linalg/expm.hpp"
 #include "linalg/lu.hpp"
@@ -38,12 +39,17 @@ Matrix closed_loop_monodromy(const std::vector<PhaseDynamics>& phases,
   //   x+      = (A_j + B2_j K_j) x + B1_j u_prev
   //   u_prev+ = K_j x
   Matrix phi = Matrix::identity(l + 1);
+  // Workspaces hoisted out of the phase loop: only the blocks below are
+  // rewritten each phase (entry (l,l) stays 0 throughout), so one zeroed
+  // matrix serves all phases without reallocation.
+  Matrix m(l + 1, l + 1);
+  Matrix tmp;
   for (std::size_t j = 0; j < phases.size(); ++j) {
-    Matrix m(l + 1, l + 1);
     m.set_block(0, 0, phases[j].ad + phases[j].b2 * k[j]);
     m.set_block(0, l, phases[j].b1);
     m.set_block(l, 0, k[j]);
-    phi = m * phi;
+    multiply_into(tmp, m, phi);
+    std::swap(phi, tmp);
   }
   return phi;
 }
@@ -203,20 +209,50 @@ SimResult SwitchedSimulator::simulate(const PhaseGains& gains,
       static_cast<std::size_t>(opts.horizon / opts.dense_dt) + 16;
   res.t.reserve(est);
   res.y.reserve(est);
+  // Actuation-grained traces: one entry per traversed interval. Reserve
+  // from the known horizon and period so the while loop below never grows
+  // them (satellite of ISSUE 3: no reallocation in the step loop).
+  double period = 0.0;
+  for (const auto& iv : intervals_) period += iv.h;
+  const std::size_t est_acts =
+      period > 0.0 ? static_cast<std::size_t>(opts.horizon / period + 1.0) *
+                             intervals_.size() +
+                         2
+                   : 16;
+  res.ts.reserve(est_acts);
+  res.ys.reserve(est_acts);
+  res.u.reserve(est_acts);
 
+  // State workspaces reused across every dense substep: the inner loop
+  // below runs ~horizon/dense_dt times per candidate and must not allocate
+  // (Matrix is small-buffer-optimized, so x/xn live on this frame).
   Matrix x = x0;
+  Matrix xn(l, 1);
+  // Row-times-column with the exact skip-zero/accumulation order of
+  // operator*, so traces stay bit-identical to the temporary-based code.
+  const auto row_dot = [l](const Matrix& row, const Matrix& col) {
+    double s = 0.0;
+    for (std::size_t q = 0; q < l; ++q) {
+      const double rq = row(0, q);
+      if (rq == 0.0) continue;
+      s += rq * col(q, 0);
+    }
+    return s;
+  };
   double u_prev = u_prev0;
   double t = 0.0;
   std::size_t phase = opts.start_phase;
   bool first = true;
   res.t.push_back(0.0);
-  res.y.push_back((plant_.c * x)(0, 0));
+  res.y.push_back(row_dot(plant_.c, x));
 
   auto run_segment = [&](const Segment& seg, double u) {
     for (std::size_t s = 0; s < seg.steps; ++s) {
-      x = seg.e * x + seg.pb * u;
+      multiply_into(xn, seg.e, x);     // xn = E x
+      axpy_into(xn, u, seg.pb);        // xn += u * (Phi B)
+      std::swap(x, xn);
       t += seg.dt;
-      const double yv = (plant_.c * x)(0, 0);
+      const double yv = row_dot(plant_.c, x);
       res.t.push_back(t);
       res.y.push_back(yv);
       if (std::abs(yv) > opts.divergence_bound) {
@@ -229,14 +265,14 @@ SimResult SwitchedSimulator::simulate(const PhaseGains& gains,
 
   while (t < opts.horizon && !res.diverged) {
     res.ts.push_back(t);  // sensing instant of this interval's task
-    res.ys.push_back((plant_.c * x)(0, 0));
+    res.ys.push_back(row_dot(plant_.c, x));
     double u_new;
     if (first && opts.hold_first_interval) {
       // The task in flight when the reference steps still targets the old
       // reference: at the old equilibrium its output equals u_prev0.
       u_new = u_prev;
     } else {
-      u_new = (gains.k[phase] * x)(0, 0) + gains.f[phase] * opts.r;
+      u_new = row_dot(gains.k[phase], x) + gains.f[phase] * opts.r;
     }
     if (opts.clamp_u) {
       u_new = std::clamp(u_new, -*opts.clamp_u, *opts.clamp_u);

@@ -21,8 +21,9 @@ std::vector<std::int64_t> quantize(const std::vector<sched::Interval>& ivs) {
 
 }  // namespace
 
-Evaluator::Evaluator(SystemModel model, control::DesignOptions design_opts)
-    : model_(std::move(model)), design_opts_(design_opts) {
+Evaluator::Evaluator(SystemModel model, control::DesignOptions design_opts,
+                     ThreadPool* pool)
+    : model_(std::move(model)), design_opts_(design_opts), pool_(pool) {
   model_.validate();
   wcets_ = model_.analyze_wcets();
 }
@@ -53,7 +54,7 @@ AppEvaluation Evaluator::evaluate_app(
     spec.smax = a.smax;
 
     AppEvaluation ev;
-    ev.design = control::design_controller(spec, intervals, design_opts_);
+    ev.design = control::design_controller(spec, intervals, design_opts_, pool_);
     ++designs_run_;
     ev.settling_time = ev.design.settling_time;
     ev.performance = std::isfinite(ev.settling_time)
@@ -85,9 +86,20 @@ ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
       sched::idle_feasible(out.timing, model_.tidle_vector());
   out.control_feasible = true;
   out.pall = 0.0;
-  out.apps.reserve(model_.num_apps());
-  for (std::size_t i = 0; i < model_.num_apps(); ++i) {
-    AppEvaluation ev = evaluate_app(i, out.timing.apps[i].intervals);
+  const std::size_t napps = model_.num_apps();
+  // Batched per-app designs: every app of this schedule lands in its own
+  // index-addressed slot (fanned across pool_ when present; each design
+  // additionally batches its PSO generations on the same pool), then Pall
+  // is reduced serially in app order — bit-identical to the serial loop.
+  // The per-app memo stays in the path, so a pattern shared with another
+  // schedule (or requested concurrently) is still designed exactly once.
+  std::vector<AppEvaluation> evs(napps);
+  parallel_for(pool_, napps, [&](std::size_t i) {
+    evs[i] = evaluate_app(i, out.timing.apps[i].intervals);
+  });
+  out.apps.reserve(napps);
+  for (std::size_t i = 0; i < napps; ++i) {
+    AppEvaluation& ev = evs[i];
     out.control_feasible = out.control_feasible && ev.feasible;
     if (std::isfinite(ev.performance)) {
       out.pall += model_.apps[i].weight * ev.performance;

@@ -49,9 +49,20 @@ struct ScheduleEvaluation {
 /// pattern and design_controller itself is deterministic.
 class Evaluator {
 public:
-  /// Runs the cache/WCET analysis once up front.
+  /// Runs the cache/WCET analysis once up front. With a non-null \p pool,
+  /// evaluate() fans all per-app designs of one schedule across the pool
+  /// (keeping the per-app memo in the path, so each timing pattern is
+  /// still designed once), and each design batches its candidate grid and
+  /// PSO generations there too — bit-identical to the serial evaluation,
+  /// per the parallel_for determinism contract (enforced by
+  /// tests/test_design_batch.cpp).
   /// \throws whatever SystemModel::validate/analyze_wcets throw.
-  Evaluator(SystemModel model, control::DesignOptions design_opts = {});
+  Evaluator(SystemModel model, control::DesignOptions design_opts = {},
+            ThreadPool* pool = nullptr);
+
+  /// The batching pool this evaluator was constructed with (nullptr =
+  /// serial designs). The pool must outlive the evaluator's evaluate calls.
+  ThreadPool* pool() const noexcept { return pool_; }
 
   const SystemModel& model() const noexcept { return model_; }
   const std::vector<sched::AppWcet>& wcets() const noexcept { return wcets_; }
@@ -90,6 +101,7 @@ private:
 
   SystemModel model_;
   control::DesignOptions design_opts_;
+  ThreadPool* pool_ = nullptr;
   std::vector<sched::AppWcet> wcets_;
   ConcurrentMemoMap<MemoKey, AppEvaluation, IndexedVectorHash> memo_;
   ConcurrentMemoMap<std::string, ScheduleEvaluation> schedule_memo_;

@@ -20,6 +20,7 @@ Matrix hessenberg(const Matrix& a) {
   Matrix h = a;
   const std::size_t n = h.rows();
   if (n < 3) return h;
+  std::vector<double> v(n, 0.0);  // Householder workspace, reused per column
   for (std::size_t k = 0; k + 2 < n; ++k) {
     // Householder vector annihilating h(k+2.., k).
     double alpha = 0.0;
@@ -27,7 +28,6 @@ Matrix hessenberg(const Matrix& a) {
     alpha = std::sqrt(alpha);
     if (alpha == 0.0) continue;
     if (h(k + 1, k) > 0.0) alpha = -alpha;
-    std::vector<double> v(n, 0.0);
     v[k + 1] = h(k + 1, k) - alpha;
     for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
     double vnorm2 = 0.0;

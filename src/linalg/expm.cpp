@@ -2,7 +2,9 @@
 
 #include <array>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
+#include <utility>
 
 #include "linalg/lu.hpp"
 
@@ -11,53 +13,65 @@ namespace catsched::linalg {
 namespace {
 
 // Pade coefficients (Higham 2005, "The scaling and squaring method for the
-// matrix exponential revisited").
+// matrix exponential revisited"), ordered by ascending power: c[k]
+// multiplies A^k. Static tables instead of per-call vectors: pade_expm runs
+// once per discretized segment, i.e. inside every design evaluation.
+constexpr double kPade3[] = {120, 60, 12, 1};
+constexpr double kPade5[] = {30240, 15120, 3360, 420, 30, 1};
+constexpr double kPade7[] = {17297280, 8648640, 1995840, 277200,
+                             25200,    1512,    56,      1};
+constexpr double kPade9[] = {17643225600., 8821612800., 2075673600.,
+                             302702400.,   30270240.,   2162160.,
+                             110880.,      3960.,       90.,
+                             1.};
+constexpr double kPade13[] = {64764752532480000., 32382376266240000.,
+                              7771770303897600.,  1187353796428800.,
+                              129060195264000.,   10559470521600.,
+                              670442572800.,      33522128640.,
+                              1323241920.,        40840800.,
+                              960960.,            16380.,
+                              182.,               1.};
+
 Matrix pade_expm(const Matrix& a, int degree) {
   const std::size_t n = a.rows();
-  const Matrix eye = Matrix::identity(n);
-  const Matrix a2 = a * a;
-
-  std::vector<double> c;
+  const double* c = kPade13;
+  std::size_t clen = std::size(kPade13);
   switch (degree) {
     case 3:
-      c = {120, 60, 12, 1};
+      c = kPade3;
+      clen = std::size(kPade3);
       break;
     case 5:
-      c = {30240, 15120, 3360, 420, 30, 1};
+      c = kPade5;
+      clen = std::size(kPade5);
       break;
     case 7:
-      c = {17297280, 8648640, 1995840, 277200, 25200, 1512, 56, 1};
+      c = kPade7;
+      clen = std::size(kPade7);
       break;
     case 9:
-      c = {17643225600., 8821612800., 2075673600., 302702400., 30270240.,
-           2162160., 110880., 3960., 90., 1.};
+      c = kPade9;
+      clen = std::size(kPade9);
       break;
-    case 13:
     default:
-      c = {64764752532480000., 32382376266240000., 7771770303897600.,
-           1187353796428800.,  129060195264000.,   10559470521600.,
-           670442572800.,      33522128640.,       1323241920.,
-           40840800.,          960960.,            16380.,
-           182.,               1.};
       break;
   }
-  // c ordered by ascending power: c[k] multiplies A^k. Split even/odd.
-  std::vector<double> even_c, odd_c;
-  for (std::size_t k = 0; k < c.size(); ++k) {
-    if (k % 2 == 0) {
-      even_c.push_back(c[k]);
-    } else {
-      odd_c.push_back(c[k]);
-    }
-  }
+  const Matrix a2 = a * a;
   // U = A*(c1 I + c3 A^2 + c5 A^4 + ...), V = c0 I + c2 A^2 + ...
-  Matrix pow = eye;
-  Matrix u_inner = Matrix::zero(n, n);
-  Matrix v = Matrix::zero(n, n);
-  for (std::size_t k = 0; k < std::max(even_c.size(), odd_c.size()); ++k) {
-    if (k < odd_c.size()) u_inner += pow * odd_c[k];
-    if (k < even_c.size()) v += pow * even_c[k];
-    if (k + 1 < std::max(even_c.size(), odd_c.size())) pow = pow * a2;
+  const std::size_t n_even = (clen + 1) / 2;  // even-power coefficients
+  const std::size_t n_odd = clen / 2;         // odd-power coefficients
+  const std::size_t terms = std::max(n_even, n_odd);
+  Matrix pow = Matrix::identity(n);
+  Matrix u_inner(n, n);
+  Matrix v(n, n);
+  Matrix tmp;  // power-iteration workspace
+  for (std::size_t k = 0; k < terms; ++k) {
+    if (k < n_odd) axpy_into(u_inner, c[2 * k + 1], pow);
+    if (k < n_even) axpy_into(v, c[2 * k], pow);
+    if (k + 1 < terms) {
+      multiply_into(tmp, pow, a2);
+      std::swap(pow, tmp);
+    }
   }
   const Matrix u = a * u_inner;
   // exp(A) ~ (V - U)^{-1} (V + U)

@@ -10,12 +10,13 @@ namespace {
 constexpr double kPivotEps = 1e-13;
 }  // namespace
 
-LU::LU(const Matrix& a) : lu_(a), piv_(a.rows()) {
+LU::LU(const Matrix& a) : lu_(a) {
   if (!a.is_square()) {
     throw std::invalid_argument("LU: matrix must be square");
   }
   const std::size_t n = a.rows();
-  std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+  if (n > piv_inline_.size()) piv_spill_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) piv(i) = static_cast<std::uint32_t>(i);
   // Scale reference for the singularity threshold.
   const double scale = std::max(lu_.max_abs(), 1.0);
   double det = 1.0;
@@ -36,7 +37,7 @@ LU::LU(const Matrix& a) : lu_(a), piv_(a.rows()) {
       continue;  // keep factoring remaining columns for rank-ish uses
     }
     if (p != k) {
-      std::swap(piv_[p], piv_[k]);
+      std::swap(piv(p), piv(k));
       for (std::size_t j = 0; j < n; ++j) std::swap(lu_(p, j), lu_(k, j));
       det = -det;
     }
@@ -65,7 +66,7 @@ Matrix LU::solve(const Matrix& b) const {
   Matrix x(n, k);
   // Apply permutation: x = P*b.
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < k; ++j) x(i, j) = b(piv_[i], j);
+    for (std::size_t j = 0; j < k; ++j) x(i, j) = b(piv(i), j);
   }
   // Forward substitution with unit-lower L.
   for (std::size_t i = 1; i < n; ++i) {

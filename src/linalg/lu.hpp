@@ -3,6 +3,9 @@
 /// \brief LU decomposition with partial pivoting: linear solves, inverse,
 ///        determinant, and rank estimation for small dense systems.
 
+#include <array>
+#include <cstdint>
+
 #include "linalg/matrix.hpp"
 
 namespace catsched::linalg {
@@ -32,8 +35,25 @@ public:
   Matrix inverse() const;
 
 private:
+  /// Row permutation with the same small-buffer strategy as Matrix: the
+  /// design hot path factors 2x2..8x8 systems millions of times per
+  /// search, so pivots of small systems live inline (no allocation);
+  /// larger systems (Kronecker solves) spill to the heap. Selecting the
+  /// buffer per access (rather than keeping a pointer to the active one)
+  /// lets the implicit copy/move special members stay correct without a
+  /// user-defined rebind step.
+  std::uint32_t& piv(std::size_t i) noexcept {
+    return piv_spill_.empty() ? piv_inline_[i] : piv_spill_[i];
+  }
+  std::uint32_t piv(std::size_t i) const noexcept {
+    return piv_spill_.empty() ? piv_inline_[i] : piv_spill_[i];
+  }
+
   Matrix lu_;                    // packed L (unit diag, below) and U (above)
-  std::vector<std::size_t> piv_; // row permutation
+  // Value-initialized so the implicit copy never reads the indeterminate
+  // tail beyond n pivots (the factorization only writes the first n).
+  std::array<std::uint32_t, Matrix::kInlineCapacity> piv_inline_{};
+  std::vector<std::uint32_t> piv_spill_;  // used when n > kInlineCapacity
   bool singular_ = false;
   double det_ = 0.0;
 };

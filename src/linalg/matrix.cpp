@@ -9,19 +9,113 @@
 
 namespace catsched::linalg {
 
+void Matrix::init_storage(std::size_t n) {
+  if (n <= kInlineCapacity) {
+    ptr_ = inline_;
+    cap_ = kInlineCapacity;
+  } else {
+    ptr_ = new double[n];
+    cap_ = n;
+  }
+}
+
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols) {
+  init_storage(size());
+  std::fill(ptr_, ptr_ + size(), fill);
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
-  data_.reserve(rows_ * cols_);
+  init_storage(size());
+  double* out = ptr_;
   for (const auto& r : rows) {
     if (r.size() != cols_) {
+      release();
+      rows_ = cols_ = 0;
       throw std::invalid_argument("Matrix: ragged initializer rows");
     }
-    data_.insert(data_.end(), r.begin(), r.end());
+    out = std::copy(r.begin(), r.end(), out);
   }
+}
+
+Matrix::Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+  init_storage(size());
+  std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_) {
+  if (other.ptr_ != other.inline_) {
+    ptr_ = other.ptr_;
+    cap_ = other.cap_;
+    other.ptr_ = other.inline_;
+    other.cap_ = kInlineCapacity;
+  } else {
+    std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+  }
+  other.rows_ = other.cols_ = 0;
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  const std::size_t n = other.size();
+  if (n > cap_) {
+    // Allocate before releasing: a throwing allocation must leave *this
+    // untouched (basic exception guarantee).
+    double* p = new double[n];
+    release();
+    ptr_ = p;
+    cap_ = n;
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  std::copy(other.ptr_, other.ptr_ + n, ptr_);
+  return *this;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  if (other.ptr_ != other.inline_) {
+    release();
+    ptr_ = other.ptr_;
+    cap_ = other.cap_;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    other.ptr_ = other.inline_;
+    other.cap_ = kInlineCapacity;
+  } else {
+    // Inline source always fits: cap_ >= kInlineCapacity by invariant.
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+  }
+  other.rows_ = other.cols_ = 0;
+  return *this;
+}
+
+void Matrix::reserve(std::size_t cap) {
+  if (cap <= cap_) return;
+  double* p = new double[cap];
+  std::copy(ptr_, ptr_ + size(), p);
+  release();
+  ptr_ = p;
+  cap_ = cap;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  const std::size_t n = rows * cols;
+  if (n > cap_) {
+    // Allocate-then-release, as in copy assignment: keep the object
+    // consistent if the allocation throws.
+    double* p = new double[n];
+    release();
+    ptr_ = p;
+    cap_ = n;
+  }
+  rows_ = rows;
+  cols_ = cols;
 }
 
 Matrix Matrix::identity(std::size_t n) {
@@ -36,13 +130,13 @@ Matrix Matrix::zero(std::size_t rows, std::size_t cols) {
 
 Matrix Matrix::column(std::initializer_list<double> entries) {
   Matrix m(entries.size(), 1);
-  std::copy(entries.begin(), entries.end(), m.data_.begin());
+  std::copy(entries.begin(), entries.end(), m.ptr_);
   return m;
 }
 
 Matrix Matrix::column(const std::vector<double>& entries) {
   Matrix m(entries.size(), 1);
-  std::copy(entries.begin(), entries.end(), m.data_.begin());
+  std::copy(entries.begin(), entries.end(), m.ptr_);
   return m;
 }
 
@@ -64,19 +158,20 @@ double Matrix::at(std::size_t r, std::size_t c) const {
 
 double& Matrix::operator[](std::size_t i) {
   if (i >= size()) throw std::out_of_range("Matrix::operator[]");
-  return data_[i];
+  return ptr_[i];
 }
 
 double Matrix::operator[](std::size_t i) const {
   if (i >= size()) throw std::out_of_range("Matrix::operator[]");
-  return data_[i];
+  return ptr_[i];
 }
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
     throw std::invalid_argument("Matrix+=: dimension mismatch");
   }
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) ptr_[i] += rhs.ptr_[i];
   return *this;
 }
 
@@ -84,25 +179,73 @@ Matrix& Matrix::operator-=(const Matrix& rhs) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
     throw std::invalid_argument("Matrix-=: dimension mismatch");
   }
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) ptr_[i] -= rhs.ptr_[i];
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) noexcept {
-  for (double& v : data_) v *= s;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) ptr_[i] *= s;
   return *this;
 }
 
 Matrix& Matrix::operator/=(double s) {
   if (s == 0.0) throw std::invalid_argument("Matrix/=: division by zero");
-  for (double& v : data_) v /= s;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) ptr_[i] /= s;
   return *this;
 }
 
 Matrix Matrix::operator-() const {
   Matrix m(*this);
-  for (double& v : m.data_) v = -v;
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i) m.ptr_[i] = -m.ptr_[i];
   return m;
+}
+
+bool Matrix::operator==(const Matrix& rhs) const noexcept {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ptr_[i] != rhs.ptr_[i]) return false;
+  }
+  return true;
+}
+
+void multiply_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply_into: inner dimension mismatch");
+  }
+  out.resize(a.rows(), b.cols());
+  std::fill(out.data(), out.data() + out.size(), 0.0);
+  multiply_add_into(out, a, b);
+}
+
+void multiply_add_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows() || out.rows() != a.rows() ||
+      out.cols() != b.cols()) {
+    throw std::invalid_argument("multiply_add_into: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+}
+
+void axpy_into(Matrix& y, double alpha, const Matrix& x) {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("axpy_into: dimension mismatch");
+  }
+  const std::size_t n = y.size();
+  double* yd = y.data();
+  const double* xd = x.data();
+  for (std::size_t i = 0; i < n; ++i) yd[i] += alpha * xd[i];
 }
 
 Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
@@ -110,15 +253,7 @@ Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
     throw std::invalid_argument("Matrix*: inner dimension mismatch");
   }
   Matrix out(lhs.rows(), rhs.cols());
-  for (std::size_t i = 0; i < lhs.rows(); ++i) {
-    for (std::size_t k = 0; k < lhs.cols(); ++k) {
-      const double a = lhs(i, k);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < rhs.cols(); ++j) {
-        out(i, j) += a * rhs(k, j);
-      }
-    }
-  }
+  multiply_add_into(out, lhs, rhs);
   return out;
 }
 
@@ -225,7 +360,8 @@ Matrix Matrix::vcat(const Matrix& a, const Matrix& b) {
 
 double Matrix::norm() const noexcept {
   double s = 0.0;
-  for (double v : data_) s += v * v;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) s += ptr_[i] * ptr_[i];
   return std::sqrt(s);
 }
 
@@ -251,7 +387,8 @@ double Matrix::norm_1() const noexcept {
 
 double Matrix::max_abs() const noexcept {
   double best = 0.0;
-  for (double v : data_) best = std::max(best, std::abs(v));
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) best = std::max(best, std::abs(ptr_[i]));
   return best;
 }
 

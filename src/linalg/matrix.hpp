@@ -11,13 +11,26 @@
 
 namespace catsched::linalg {
 
-/// Dense, heap-backed, row-major matrix of doubles.
+/// Dense, row-major matrix of doubles with small-buffer-optimized storage.
 ///
-/// Value semantics throughout: copies are deep, moves are cheap. All
-/// dimension mismatches throw std::invalid_argument so that user errors
-/// surface immediately instead of corrupting a co-design run.
+/// Matrices up to kInlineCapacity entries (8x8) live entirely inside the
+/// object — no heap allocation — because the controller-design hot path
+/// (discretization, monodromy, feedforward, dense simulation) churns
+/// through millions of 2x2..5x5 temporaries per schedule search. Larger
+/// matrices (lifted systems, Kronecker solves) spill to the heap
+/// transparently. Storage is an implementation detail: value semantics,
+/// the API, and every numerical result are identical in both modes (the
+/// differential test in tests/test_matrix_sbo.cpp enforces this).
+///
+/// Value semantics throughout: copies are deep, moves are cheap (pointer
+/// steal when spilled, element copy when inline). All dimension mismatches
+/// throw std::invalid_argument so that user errors surface immediately
+/// instead of corrupting a co-design run.
 class Matrix {
 public:
+  /// Entries stored inline (no heap) — 64 doubles covers an 8x8 block.
+  static constexpr std::size_t kInlineCapacity = 64;
+
   /// Empty 0x0 matrix.
   Matrix() = default;
 
@@ -27,6 +40,12 @@ public:
   /// Build from nested braces: Matrix{{1,2},{3,4}}.
   /// \throws std::invalid_argument if rows are ragged.
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(const Matrix& other);
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix() { release(); }
 
   /// Identity matrix of size n.
   static Matrix identity(std::size_t n);
@@ -46,18 +65,36 @@ public:
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   std::size_t size() const noexcept { return rows_ * cols_; }
-  bool empty() const noexcept { return data_.empty(); }
+  bool empty() const noexcept { return size() == 0; }
   bool is_square() const noexcept { return rows_ == cols_; }
 
   /// True if this is a column vector (cols == 1) or 0x0.
   bool is_column() const noexcept { return cols_ == 1 || empty(); }
 
+  /// True if the entries live in the inline buffer (no heap).
+  bool is_inline() const noexcept { return ptr_ == inline_; }
+
+  /// Entry capacity of the current storage (>= kInlineCapacity).
+  std::size_t capacity() const noexcept { return cap_; }
+
+  /// Grow storage to hold at least \p cap entries, preserving contents.
+  /// Capacities beyond kInlineCapacity force the heap ("spilled") layout —
+  /// the differential tests use this to pin small values into the
+  /// pre-refactor heap storage and compare against the inline fast path.
+  void reserve(std::size_t cap);
+
+  /// Re-dimension in place, reusing the current storage when it is large
+  /// enough. Entry values are unspecified afterwards — this is the
+  /// workspace primitive behind multiply_into and friends, not a
+  /// data-preserving resize.
+  void resize(std::size_t rows, std::size_t cols);
+
   /// Unchecked element access (row-major).
   double& operator()(std::size_t r, std::size_t c) noexcept {
-    return data_[r * cols_ + c];
+    return ptr_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const noexcept {
-    return data_[r * cols_ + c];
+    return ptr_[r * cols_ + c];
   }
 
   /// Bounds-checked element access.
@@ -70,8 +107,8 @@ public:
   double& operator[](std::size_t i);
   double operator[](std::size_t i) const;
 
-  const double* data() const noexcept { return data_.data(); }
-  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return ptr_; }
+  double* data() noexcept { return ptr_; }
 
   // -- Arithmetic (all dimension-checked) ------------------------------
   Matrix& operator+=(const Matrix& rhs);
@@ -89,7 +126,9 @@ public:
   /// Matrix product. \throws std::invalid_argument on inner-dim mismatch.
   friend Matrix operator*(const Matrix& lhs, const Matrix& rhs);
 
-  bool operator==(const Matrix& rhs) const = default;
+  /// Deep equality: same dimensions and entry-wise double equality
+  /// (storage mode — inline vs spilled — is irrelevant).
+  bool operator==(const Matrix& rhs) const noexcept;
 
   // -- Structure -------------------------------------------------------
   Matrix transposed() const;
@@ -131,9 +170,20 @@ public:
   double trace() const;
 
 private:
+  /// Point ptr_ at storage for n entries (contents uninitialized).
+  void init_storage(std::size_t n);
+  /// Free any heap storage and fall back to the inline buffer.
+  void release() noexcept {
+    if (ptr_ != inline_) delete[] ptr_;
+    ptr_ = inline_;
+    cap_ = kInlineCapacity;
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::size_t cap_ = kInlineCapacity;
+  double* ptr_ = inline_;
+  double inline_[kInlineCapacity];
 };
 
 /// Pretty-print with aligned columns (for logs and examples).
@@ -144,5 +194,24 @@ bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
 
 /// Dot product of two vectors (any orientation, sizes must match).
 double dot(const Matrix& a, const Matrix& b);
+
+// -- In-place multiply-accumulate primitives ---------------------------
+// The allocation-free kernels behind the switched-system simulator and the
+// design search (ISSUE 3): identical arithmetic (same loop order, same
+// skip-zero short-circuit) to the operator forms, but writing into a
+// caller-owned workspace so inner loops run with zero allocations.
+// \p out must not alias \p a or \p b.
+
+/// out = a * b (out is re-dimensioned; contents overwritten).
+/// \throws std::invalid_argument on inner-dimension mismatch.
+void multiply_into(Matrix& out, const Matrix& a, const Matrix& b);
+
+/// out += a * b.
+/// \throws std::invalid_argument on any dimension mismatch.
+void multiply_add_into(Matrix& out, const Matrix& a, const Matrix& b);
+
+/// y += alpha * x (entry-wise).
+/// \throws std::invalid_argument on dimension mismatch.
+void axpy_into(Matrix& y, double alpha, const Matrix& x);
 
 }  // namespace catsched::linalg

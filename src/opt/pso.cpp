@@ -61,9 +61,18 @@ PsoResult pso_minimize(const Objective& f, const std::vector<double>& lo,
   res.cost = std::numeric_limits<double>::infinity();
   int evals = 0;
 
+  std::vector<double> costs(n);  // generation cost slots, reused
   auto evaluate_all = [&]() {
+    // Evaluate the whole generation into index-addressed slots (possibly
+    // in parallel via the batch hook), then reduce serially in particle
+    // order — bit-identical to the one-at-a-time loop.
+    if (opts.batch_eval) {
+      opts.batch_eval(x, costs);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) costs[i] = f(x[i]);
+    }
     for (std::size_t i = 0; i < n; ++i) {
-      const double c = f(x[i]);
+      const double c = costs[i];
       ++evals;
       if (c < pbest_cost[i]) {
         pbest_cost[i] = c;

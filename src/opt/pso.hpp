@@ -24,6 +24,17 @@ struct PsoOptions {
   /// stall_tolerance for stall_iterations consecutive iterations (0 = off).
   int stall_iterations = 25;
   double stall_tolerance = 1e-9;
+  /// Optional batched objective: fill costs[i] with the objective at
+  /// positions[i] (costs is pre-sized to positions.size()). When set, every
+  /// swarm generation is evaluated through this hook instead of calling the
+  /// scalar objective particle-by-particle — the controller design uses it
+  /// to fan particles across a thread pool. The swarm update itself never
+  /// changes: costs feed the exact same serial pbest/gbest reduction, so a
+  /// batch evaluator that returns f(positions[i]) exactly (e.g. the same
+  /// pure objective run on worker threads) leaves results bit-identical.
+  std::function<void(const std::vector<std::vector<double>>& positions,
+                     std::vector<double>& costs)>
+      batch_eval;
 };
 
 /// Result of one swarm run.

@@ -1,0 +1,201 @@
+/// \file test_design_batch.cpp
+/// \brief Determinism contract of the batched controller-design path
+///        (ISSUE 3): design_controller with a thread pool, design_batch,
+///        and Evaluator::evaluate with pooled per-app designs must all be
+///        bit-identical to their serial counterparts at every thread
+///        count — the pool decides where candidates are evaluated, never
+///        what. Also pins the PSO batch_eval hook's serial reduction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "control/design.hpp"
+#include "core/case_study.hpp"
+#include "core/evaluator.hpp"
+#include "core/parallel.hpp"
+#include "opt/pso.hpp"
+#include "sched/timing.hpp"
+
+namespace {
+
+using catsched::control::DesignOptions;
+using catsched::control::DesignProblem;
+using catsched::control::DesignResult;
+using catsched::control::DesignSpec;
+using catsched::core::Evaluator;
+using catsched::core::SystemModel;
+using catsched::core::ThreadPool;
+namespace control = catsched::control;
+namespace core = catsched::core;
+namespace opt = catsched::opt;
+namespace sched = catsched::sched;
+
+/// Small fixed design budget: determinism must hold at any budget, so the
+/// tests use one that keeps a full design in the tens of milliseconds.
+DesignOptions tiny_options() {
+  DesignOptions o = core::date18_design_options();
+  o.pso.particles = 6;
+  o.pso.iterations = 8;
+  o.pso.stall_iterations = 4;
+  o.pso_restarts = 1;
+  o.scale_budget_with_dims = false;
+  return o;
+}
+
+::testing::AssertionResult same_result(const DesignResult& a,
+                                       const DesignResult& b) {
+  if (a.gains.k != b.gains.k) {
+    return ::testing::AssertionFailure() << "gain matrices differ";
+  }
+  if (a.gains.f != b.gains.f) {
+    return ::testing::AssertionFailure() << "feedforward differs";
+  }
+  // Exact comparison throughout (infinity == infinity is true, which is
+  // what an infeasible-design match should be).
+  if (a.settling_time != b.settling_time || a.settled != b.settled ||
+      a.u_max_abs != b.u_max_abs || a.spectral_radius != b.spectral_radius ||
+      a.feasible != b.feasible || a.pso_evaluations != b.pso_evaluations) {
+    return ::testing::AssertionFailure() << "metrics differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct CaseStudy {
+  SystemModel sys = core::date18_case_study();
+  sched::ScheduleTiming timing =
+      sched::derive_timing(sys.analyze_wcets(),
+                           sched::PeriodicSchedule({3, 2, 3}));
+  DesignSpec spec_of(std::size_t i) const {
+    const auto& a = sys.apps[i];
+    DesignSpec spec;
+    spec.plant = a.plant;
+    spec.umax = a.umax;
+    spec.r = a.r;
+    spec.y0 = a.y0;
+    spec.smax = a.smax;
+    return spec;
+  }
+};
+
+TEST(DesignBatch, PooledDesignControllerIsBitIdenticalToSerial) {
+  const CaseStudy cs;
+  const DesignOptions opts = tiny_options();
+  const DesignResult serial = control::design_controller(
+      cs.spec_of(0), cs.timing.apps[0].intervals, opts);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    const DesignResult pooled = control::design_controller(
+        cs.spec_of(0), cs.timing.apps[0].intervals, opts, &pool);
+    EXPECT_TRUE(same_result(serial, pooled)) << threads << " threads";
+  }
+}
+
+TEST(DesignBatch, DesignBatchMatchesPerProblemSerialRuns) {
+  const CaseStudy cs;
+  const DesignOptions opts = tiny_options();
+  std::vector<DesignProblem> problems;
+  for (std::size_t i = 0; i < cs.sys.apps.size(); ++i) {
+    problems.push_back({cs.spec_of(i), cs.timing.apps[i].intervals});
+  }
+
+  std::vector<DesignResult> serial;
+  for (const auto& p : problems) {
+    serial.push_back(control::design_controller(p.spec, p.intervals, opts));
+  }
+
+  // Serial batch (no pool) and pooled batch must both reproduce the
+  // one-at-a-time results, in problem order.
+  const auto batch_serial = control::design_batch(problems, opts);
+  ASSERT_EQ(batch_serial.size(), problems.size());
+  ThreadPool pool(4);
+  const auto batch_pooled = control::design_batch(problems, opts, &pool);
+  ASSERT_EQ(batch_pooled.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    EXPECT_TRUE(same_result(serial[i], batch_serial[i])) << "problem " << i;
+    EXPECT_TRUE(same_result(serial[i], batch_pooled[i])) << "problem " << i;
+  }
+}
+
+TEST(DesignBatch, PooledEvaluatorIsBitIdenticalToSerial) {
+  const CaseStudy cs;
+  const DesignOptions opts = tiny_options();
+  const sched::PeriodicSchedule schedule({3, 2, 3});
+
+  Evaluator serial_ev(cs.sys, opts);
+  const auto serial = serial_ev.evaluate(schedule);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    // Fresh evaluator per run: a shared memo would mask design divergence.
+    Evaluator ev(cs.sys, opts, &pool);
+    EXPECT_EQ(ev.pool(), &pool);
+    const auto pooled = ev.evaluate(schedule);
+    EXPECT_EQ(serial.pall, pooled.pall) << threads << " threads";
+    EXPECT_EQ(serial.idle_feasible, pooled.idle_feasible);
+    EXPECT_EQ(serial.control_feasible, pooled.control_feasible);
+    ASSERT_EQ(serial.apps.size(), pooled.apps.size());
+    for (std::size_t i = 0; i < serial.apps.size(); ++i) {
+      EXPECT_EQ(serial.apps[i].settling_time, pooled.apps[i].settling_time);
+      EXPECT_EQ(serial.apps[i].performance, pooled.apps[i].performance);
+      EXPECT_EQ(serial.apps[i].feasible, pooled.apps[i].feasible);
+      EXPECT_TRUE(same_result(serial.apps[i].design, pooled.apps[i].design));
+    }
+    // The per-app memo stays in the path when batching: one design per app.
+    EXPECT_EQ(ev.designs_run(), serial_ev.designs_run());
+    EXPECT_EQ(ev.design_requests(), serial_ev.design_requests());
+  }
+}
+
+// The swarm update consumes costs through a serial index-ordered reduction,
+// so any batch evaluator returning f(positions[i]) exactly — regardless of
+// the order it fills the slots — leaves the optimum bit-identical.
+TEST(DesignBatch, PsoBatchHookIsOrderInvariant) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+      const double a = x[i + 1] - x[i] * x[i];
+      const double b = 1.0 - x[i];
+      s += 100.0 * a * a + b * b;
+    }
+    return s;
+  };
+  const std::vector<double> lo(4, -2.0);
+  const std::vector<double> hi(4, 2.0);
+  opt::PsoOptions base;
+  base.particles = 12;
+  base.iterations = 40;
+  base.seed = 1234;
+
+  const auto plain = opt::pso_minimize(rosenbrock, lo, hi, base);
+
+  // Reverse-order fill: same values, opposite completion order.
+  opt::PsoOptions batched = base;
+  batched.batch_eval = [&](const std::vector<std::vector<double>>& xs,
+                           std::vector<double>& costs) {
+    for (std::size_t i = xs.size(); i-- > 0;) costs[i] = rosenbrock(xs[i]);
+  };
+  const auto rev = opt::pso_minimize(rosenbrock, lo, hi, batched);
+  EXPECT_EQ(plain.x, rev.x);
+  EXPECT_EQ(plain.cost, rev.cost);
+  EXPECT_EQ(plain.evaluations, rev.evaluations);
+
+  // Pool-backed fill through parallel_for, at several widths.
+  for (const std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    opt::PsoOptions pooled = base;
+    pooled.batch_eval = [&](const std::vector<std::vector<double>>& xs,
+                            std::vector<double>& costs) {
+      pool.parallel_for(xs.size(),
+                        [&](std::size_t i) { costs[i] = rosenbrock(xs[i]); });
+    };
+    const auto par = opt::pso_minimize(rosenbrock, lo, hi, pooled);
+    EXPECT_EQ(plain.x, par.x);
+    EXPECT_EQ(plain.cost, par.cost);
+    EXPECT_EQ(plain.evaluations, par.evaluations);
+  }
+}
+
+}  // namespace
