@@ -1,7 +1,9 @@
 #include "cache/absint.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 namespace catsched::cache {
 
@@ -185,6 +187,33 @@ std::size_t AbstractCacheState::tracked_lines() const noexcept {
   return n;
 }
 
+namespace {
+
+/// splitmix64 finalizer (same avalanche stage core/parallel.hpp uses;
+/// replicated locally so the cache layer stays free of core dependencies).
+constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t AbstractCacheState::hash() const noexcept {
+  // Entries are kept sorted per set, so iterating them yields a canonical
+  // sequence: equal states (operator==) produce identical streams.
+  std::uint64_t h = 0x8f1bbcdcbfa53e0bull ^ (kind_ == Kind::must ? 1u : 2u);
+  h = hash_mix(h ^ sets_state_.size());
+  for (std::size_t s = 0; s < sets_state_.size(); ++s) {
+    for (const LineAge& e : sets_state_[s]) {
+      h = hash_mix(h ^ (static_cast<std::uint64_t>(s) << 32 ^ e.age));
+      h = hash_mix(h ^ e.line);
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
 const char* to_string(Classification c) noexcept {
   switch (c) {
     case Classification::always_hit:
@@ -221,6 +250,11 @@ Classification CachePair::classify_and_access(std::uint64_t line) {
 void CachePair::join(const CachePair& other) {
   must_.join(other.must_);
   may_.join(other.may_);
+}
+
+std::size_t CachePair::hash() const noexcept {
+  const std::uint64_t hm = must_.hash();
+  return static_cast<std::size_t>(hm * 0x9e3779b97f4a7c15ull) ^ may_.hash();
 }
 
 }  // namespace catsched::cache

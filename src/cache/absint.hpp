@@ -123,6 +123,11 @@ public:
   /// Number of tracked lines over all sets.
   std::size_t tracked_lines() const noexcept;
 
+  /// Strong hash over the exact abstract contents (kind plus every
+  /// (set, line, age) entry): equal states hash equal, so states can key
+  /// hash maps — the static-WCET subtree memo keys on them.
+  std::size_t hash() const noexcept;
+
   bool operator==(const AbstractCacheState& other) const = default;
 
 private:
@@ -179,11 +184,22 @@ public:
   const AbstractCacheState& may() const noexcept { return may_; }
   const CacheConfig& config() const noexcept { return must_.config(); }
 
+  /// Combined hash of both abstract states (see AbstractCacheState::hash).
+  std::size_t hash() const noexcept;
+
   bool operator==(const CachePair& other) const = default;
 
 private:
   AbstractCacheState must_;
   AbstractCacheState may_;
+};
+
+/// Hash functor so CachePair can key std::unordered_map (the per-(app,
+/// entry-state) subtree memo in cache/static_wcet).
+struct CachePairHash {
+  std::size_t operator()(const CachePair& p) const noexcept {
+    return p.hash();
+  }
 };
 
 }  // namespace catsched::cache

@@ -10,6 +10,7 @@
 /// 100-cycle miss, 20 MHz clock.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace catsched::cache {
@@ -50,6 +51,12 @@ public:
   /// Fetch one cache line. Returns true on hit. Updates LRU state and the
   /// hit/miss/cycle counters.
   bool access(std::uint64_t line_addr);
+
+  /// Same, additionally reporting the line a miss evicted (nullopt on a
+  /// hit or when the replaced way was invalid). Lets residency-tracking
+  /// analyses (cache/crpd's useful-cache-block scan) maintain their sets
+  /// incrementally instead of rescanning the cache per access.
+  bool access(std::uint64_t line_addr, std::optional<std::uint64_t>& evicted);
 
   /// Fetch a whole trace of line addresses; returns cycles consumed by it.
   std::uint64_t run_trace(const std::vector<std::uint64_t>& lines);

@@ -1,8 +1,12 @@
 #include "cache/crpd.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace catsched::cache {
 
@@ -11,47 +15,49 @@ UcbResult compute_ucb(const Program& program, const CacheConfig& config) {
   const auto& trace = program.trace;
   const std::size_t n = trace.size();
 
-  // next_use[i]: does line trace[i] appear again strictly after i?
-  // Computed backwards with a last-seen map.
-  std::vector<bool> reused_later(n, false);
-  {
-    std::unordered_set<std::uint64_t> seen;
-    for (std::size_t i = n; i-- > 0;) {
-      reused_later[i] = seen.count(trace[i]) > 0;
-      seen.insert(trace[i]);
-    }
-  }
-
-  // Walk the trace through the concrete cache; after each access, count
-  // resident lines that are accessed again later. "Accessed later" is
-  // tracked with a multiset of remaining occurrences per line.
+  // Remaining occurrences per line; a line is "useful" at a program point
+  // iff it is resident AND has remaining uses.
   std::unordered_map<std::uint64_t, std::size_t> remaining;
+  remaining.reserve(n);
   for (const auto line : trace) ++remaining[line];
 
   UcbResult out;
   out.per_point.reserve(n);
   const std::size_t sets = config.num_sets();
-  // Track resident lines ourselves (CacheSim::contains queries per line
-  // would be O(resident) anyway; we shadow the residency set).
-  for (std::size_t i = 0; i < n; ++i) {
-    sim.access(trace[i]);
-    --remaining[trace[i]];
+  // The useful set is maintained incrementally: residency changes only for
+  // the accessed line (enters at MRU) and the line a miss evicts, and
+  // remaining-use counts change only for the accessed line — so each access
+  // touches at most two members instead of rescanning every line with
+  // remaining uses (the old walk was O(n x distinct lines)). Per-set
+  // useful-line counts drive the useful_sets record on 0 -> 1 transitions.
+  std::unordered_set<std::uint64_t> useful;
+  useful.reserve(config.num_lines * 2);
+  std::vector<std::size_t> set_useful(sets, 0);
+  const auto set_of = [sets](std::uint64_t line) {
+    return static_cast<std::size_t>(line % sets);
+  };
+  const auto drop = [&](std::uint64_t line) {
+    if (useful.erase(line) > 0) --set_useful[set_of(line)];
+  };
+  const auto add = [&](std::uint64_t line) {
+    if (useful.insert(line).second) {
+      const std::size_t s = set_of(line);
+      if (set_useful[s]++ == 0) out.useful_sets.insert(s);
+    }
+  };
 
-    std::size_t useful = 0;
-    std::set<std::size_t> point_sets;
-    // Enumerate distinct lines with remaining uses and check residency.
-    for (const auto& [line, uses] : remaining) {
-      if (uses == 0) continue;
-      if (sim.contains(line)) {
-        ++useful;
-        point_sets.insert(static_cast<std::size_t>(line % sets));
-      }
+  std::optional<std::uint64_t> evicted;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.access(trace[i], evicted);
+    if (evicted) drop(*evicted);
+    // The accessed line is now resident; useful iff it is used again.
+    if (--remaining[trace[i]] > 0) {
+      add(trace[i]);
+    } else {
+      drop(trace[i]);
     }
-    out.per_point.push_back(useful);
-    if (useful >= out.max_useful) {
-      out.max_useful = useful;
-    }
-    out.useful_sets.insert(point_sets.begin(), point_sets.end());
+    out.per_point.push_back(useful.size());
+    out.max_useful = std::max(out.max_useful, useful.size());
   }
   return out;
 }

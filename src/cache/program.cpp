@@ -1,8 +1,12 @@
 #include "cache/program.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace catsched::cache {
 

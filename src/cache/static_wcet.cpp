@@ -1,6 +1,9 @@
 #include "cache/static_wcet.hpp"
 
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace catsched::cache {
 
@@ -30,10 +33,33 @@ struct PassCounts {
 
 constexpr int kFixpointCap = 4096;
 
+PassCounts analyze(const Stmt& stmt, CachePair& state,
+                   const CacheConfig& config, StaticAnalysisMemo* memo);
+
+/// Analyze a loop body through the subtree memo when one is present: a
+/// body re-entered from an abstract state it was already analyzed from
+/// (the steady-state pass after a stabilized fixpoint, warm-pass revisits,
+/// nested-loop repeats) hands back the memoized counts and exit state.
+PassCounts analyze_body(const Stmt& body, CachePair& state,
+                        const CacheConfig& config, StaticAnalysisMemo* memo) {
+  if (memo == nullptr) return analyze(body, state, config, memo);
+  StaticAnalysisMemo::Key key{&body, state};
+  if (const StaticAnalysisMemo::SubtreeResult* cached = memo->find(key)) {
+    state = cached->exit;
+    return PassCounts{cached->cycles, cached->always_hit, cached->always_miss,
+                      cached->not_classified};
+  }
+  const PassCounts counts = analyze(body, state, config, memo);
+  memo->store(std::move(key),
+              StaticAnalysisMemo::SubtreeResult{counts.cycles, counts.ah,
+                                                counts.am, counts.nc, state});
+  return counts;
+}
+
 /// Walk the tree, mutating `state` to the exit abstract cache and returning
 /// the worst-case cycle/classification counts.
 PassCounts analyze(const Stmt& stmt, CachePair& state,
-                   const CacheConfig& config) {
+                   const CacheConfig& config, StaticAnalysisMemo* memo) {
   PassCounts out;
   switch (stmt.kind) {
     case Stmt::Kind::block: {
@@ -57,15 +83,16 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
     }
     case Stmt::Kind::seq: {
       for (const auto& child : stmt.children) {
-        out += analyze(child, state, config);
+        out += analyze(child, state, config, memo);
       }
       return out;
     }
     case Stmt::Kind::branch: {
       CachePair else_state = state;
-      const PassCounts then_counts = analyze(stmt.children[0], state, config);
+      const PassCounts then_counts =
+          analyze(stmt.children[0], state, config, memo);
       const PassCounts else_counts =
-          analyze(stmt.children[1], else_state, config);
+          analyze(stmt.children[1], else_state, config, memo);
       state.join(else_state);
       // Timing schema: the bound takes the costlier arm (its classification
       // counts are reported, since they are what the bound is made of).
@@ -76,7 +103,8 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
       // First iteration runs from the incoming state (cold misses happen
       // here); remaining iterations run from the loop fixpoint (steady
       // state), the "virtual unrolling" first/rest distinction.
-      const PassCounts first = analyze(stmt.children[0], state, config);
+      const PassCounts first = analyze_body(stmt.children[0], state, config,
+                                            memo);
       out += first;
       if (stmt.bound == 1) return out;
 
@@ -84,7 +112,7 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
       bool stable = false;
       for (int it = 0; it < kFixpointCap; ++it) {
         CachePair probe = fix;
-        analyze(stmt.children[0], probe, config);  // counts discarded
+        analyze_body(stmt.children[0], probe, config, memo);  // counts unused
         CachePair joined = fix;
         joined.join(probe);
         if (joined == fix) {
@@ -97,8 +125,12 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
         throw std::runtime_error(
             "analyze_static_wcet: loop fixpoint did not stabilize");
       }
+      // The steady pass re-analyzes the body from the stabilized fixpoint —
+      // with a memo this is a guaranteed hit (the final probe ran from the
+      // same state).
       CachePair steady_state = fix;
-      PassCounts steady = analyze(stmt.children[0], steady_state, config);
+      PassCounts steady =
+          analyze_body(stmt.children[0], steady_state, config, memo);
       steady.scale(static_cast<std::uint64_t>(stmt.bound) - 1);
       out += steady;
       state = std::move(steady_state);
@@ -112,19 +144,21 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
 
 StaticWcetResult analyze_static_wcet(const StructuredProgram& program,
                                      const CacheConfig& config,
-                                     const std::optional<CachePair>& entry) {
+                                     const std::optional<CachePair>& entry,
+                                     StaticAnalysisMemo* memo) {
   CachePair state = entry.value_or(CachePair(config));
-  const PassCounts counts = analyze(program.root, state, config);
+  const PassCounts counts = analyze(program.root, state, config, memo);
   StaticWcetResult res{counts.cycles, counts.ah, counts.am, counts.nc,
                        std::move(state)};
   return res;
 }
 
 StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
-                                      const CacheConfig& config) {
+                                      const CacheConfig& config,
+                                      StaticAnalysisMemo* memo) {
   StaticAppWcet out;
-  out.cold = analyze_static_wcet(program, config);
-  out.warm = analyze_static_wcet(program, config, out.cold.exit_state);
+  out.cold = analyze_static_wcet(program, config, std::nullopt, memo);
+  out.warm = analyze_static_wcet(program, config, out.cold.exit_state, memo);
   return out;
 }
 

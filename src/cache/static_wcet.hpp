@@ -13,12 +13,74 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "cache/absint.hpp"
 #include "cache/structure.hpp"
 #include "sched/timing.hpp"
 
 namespace catsched::cache {
+
+/// Subtree-analysis memo keyed on (statement identity, entry abstract
+/// state): a loop body analyzed twice from the same CachePair — which
+/// happens on every stabilized fixpoint (the steady-state pass re-runs the
+/// final probe) and whenever warm-entry re-analysis revisits states the
+/// cold pass already saw — is computed once. One instance is bound to one
+/// StructuredProgram (keys hold statement addresses) and one CacheConfig:
+/// the per-(app, entry-state) reuse unit, and the foundation for
+/// schedule-dependent WCET re-analysis where the same program is re-walked
+/// from many entry states. Not thread-safe; use one memo per analysis
+/// thread.
+class StaticAnalysisMemo {
+public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept {
+    entries_.clear();
+    stats_ = Stats{};
+  }
+
+  /// Memoized subtree outcome: classification counts plus the exit state.
+  struct SubtreeResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t always_hit = 0;
+    std::uint64_t always_miss = 0;
+    std::uint64_t not_classified = 0;
+    CachePair exit;
+  };
+
+  /// Analysis-internal lookup (the key pairs a statement address with the
+  /// entry state). Exposed for the analyzer only.
+  using Key = std::pair<const void*, CachePair>;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return (reinterpret_cast<std::uintptr_t>(k.first) *
+              0x9e3779b97f4a7c15ull) ^
+             CachePairHash{}(k.second);
+    }
+  };
+  const SubtreeResult* find(const Key& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second;
+  }
+  void store(Key key, SubtreeResult result) {
+    entries_.emplace(std::move(key), std::move(result));
+  }
+
+private:
+  std::unordered_map<Key, SubtreeResult, KeyHash> entries_;
+  Stats stats_;
+};
 
 /// Outcome of one static analysis pass.
 struct StaticWcetResult {
@@ -39,13 +101,17 @@ struct StaticWcetResult {
 };
 
 /// Analyze a structured program from a given abstract entry state (cold
-/// pair if omitted).
+/// pair if omitted). With a non-null \p memo, loop-body analyses are
+/// memoized per (statement, entry-state) — bit-identical results
+/// (gtest-enforced differentially), repeated fixpoint work computed once.
+/// The memo must only ever be used with this program/config pair.
 /// \throws std::runtime_error if a loop fixpoint fails to stabilize within
 ///         the safety cap (cannot happen for finite age domains unless the
 ///         implementation is broken -- the cap turns a hang into an error).
 StaticWcetResult analyze_static_wcet(
     const StructuredProgram& program, const CacheConfig& config,
-    const std::optional<CachePair>& entry = std::nullopt);
+    const std::optional<CachePair>& entry = std::nullopt,
+    StaticAnalysisMemo* memo = nullptr);
 
 /// Cold + warm analysis in one call: the warm pass re-analyzes the program
 /// starting from the cold pass's exit state, which is exactly the paper's
@@ -61,8 +127,12 @@ struct StaticAppWcet {
     return cold.wcet_cycles - warm.wcet_cycles;
   }
 };
+/// Both passes share one subtree memo (\p memo optional): loop fixpoints
+/// the warm pass re-reaches from the same abstract states as the cold pass
+/// are handed back instead of re-iterated.
 StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
-                                      const CacheConfig& config);
+                                      const CacheConfig& config,
+                                      StaticAnalysisMemo* memo = nullptr);
 
 /// Convert to the scheduler-facing WCET pair (seconds).
 sched::AppWcet to_app_wcet(const StaticAppWcet& analysis,

@@ -1,8 +1,13 @@
 #include "cache/structure.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <random>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace catsched::cache {
 

@@ -1,6 +1,8 @@
 #include "cache/wcet.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace catsched::cache {
 

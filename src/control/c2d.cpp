@@ -1,6 +1,8 @@
 #include "control/c2d.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/expm.hpp"
 

@@ -1,8 +1,11 @@
 #include "control/jsr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "linalg/eig.hpp"
 #include "linalg/svd.hpp"

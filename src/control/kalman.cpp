@@ -1,8 +1,12 @@
 #include "control/kalman.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "linalg/lu.hpp"
 

@@ -1,6 +1,10 @@
 #include "control/lqr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "linalg/eig.hpp"
 #include "linalg/lu.hpp"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "linalg/expm.hpp"
 #include "linalg/lu.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "control/pole_place.hpp"
 #include "linalg/eig.hpp"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "control/lti.hpp"
 #include "linalg/lu.hpp"

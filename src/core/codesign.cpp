@@ -1,13 +1,26 @@
 #include "core/codesign.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace catsched::core {
 
 opt::DiscreteObjective make_objective(Evaluator& evaluator) {
   return [&evaluator](const std::vector<int>& m) {
-    const ScheduleEvaluation ev =
-        evaluator.evaluate(sched::PeriodicSchedule(m));
+    // Through the evaluator's schedule memo: the delta path anchors on the
+    // base schedule's cached evaluation, so the plain objective must land
+    // its results in the same place (also dedups across searches).
+    const ScheduleEvaluation& ev = evaluator.evaluate_cached(
+        sched::InterleavedSchedule::from_periodic(sched::PeriodicSchedule(m)));
+    return opt::EvalOutcome{ev.pall, ev.feasible()};
+  };
+}
+
+opt::NeighborObjective make_neighbor_objective(Evaluator& evaluator) {
+  return [&evaluator](const std::vector<int>& base,
+                      const std::vector<int>& point) {
+    const ScheduleEvaluation& ev = evaluator.evaluate_periodic_move(
+        sched::PeriodicSchedule(base), sched::PeriodicSchedule(point));
     return opt::EvalOutcome{ev.pall, ev.feasible()};
   };
 }
@@ -27,12 +40,14 @@ CodesignResult find_optimal_schedule(
   CodesignResult res;
   res.search = opt::hybrid_search_multistart(
       make_objective(evaluator), make_cheap_feasible(evaluator), starts,
-      opts, pool);
+      opts, pool, make_neighbor_objective(evaluator));
   res.schedules_evaluated = res.search.total_unique_evaluations;
   if (res.search.combined.found_feasible) {
     res.found = true;
     res.best_schedule = sched::PeriodicSchedule(res.search.combined.best);
-    res.best_evaluation = evaluator.evaluate(res.best_schedule);
+    // The winner was evaluated during the search: a memo hit, not a rerun.
+    res.best_evaluation = evaluator.evaluate_cached(
+        sched::InterleavedSchedule::from_periodic(res.best_schedule));
   }
   return res;
 }

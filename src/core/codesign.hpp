@@ -21,6 +21,13 @@ struct CodesignResult {
 /// Adapter: the expensive discrete objective (full schedule evaluation).
 opt::DiscreteObjective make_objective(Evaluator& evaluator);
 
+/// Adapter: the delta-aware neighbor objective — evaluates an m +- e_i
+/// point incrementally from its base schedule's pattern, reusing per-app
+/// evaluations where unchanged. Bit-identical to make_objective (the
+/// evaluator's neighbor path contract); hybrid_search batches route memo
+/// misses through it.
+opt::NeighborObjective make_neighbor_objective(Evaluator& evaluator);
+
 /// Adapter: the cheap pre-filter (idle-time feasibility, eq. (4)).
 opt::CheapFeasible make_cheap_feasible(const Evaluator& evaluator);
 

@@ -1,7 +1,11 @@
 #include "core/energy.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::core {
 

@@ -1,50 +1,78 @@
 #include "core/evaluator.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace catsched::core {
 
 namespace {
 
-/// Quantize an interval list to picoseconds for use as a memo key (two
-/// timing patterns closer than 1 ps are the same design problem).
-std::vector<std::int64_t> quantize(const std::vector<sched::Interval>& ivs) {
-  std::vector<std::int64_t> key;
-  key.reserve(ivs.size() * 2);
-  for (const auto& iv : ivs) {
-    key.push_back(static_cast<std::int64_t>(std::llround(iv.h * 1e12)));
-    key.push_back(static_cast<std::int64_t>(std::llround(iv.tau * 1e12)));
+/// Largest magnitude (seconds) that survives the 1 ps quantization within
+/// std::int64_t: 9e6 s * 1e12 = 9e18 < 2^63 - 1. Anything bigger (or
+/// non-finite) would make std::llround undefined behavior.
+constexpr double kMaxQuantizableSeconds = 9.0e6;
+
+std::int64_t quantize_seconds(double v) {
+  if (!std::isfinite(v) || std::abs(v) > kMaxQuantizableSeconds) {
+    throw std::invalid_argument(
+        "quantize_intervals: interval outside the quantizable range "
+        "(non-finite or |t| > 9e6 s)");
   }
-  return key;
+  return static_cast<std::int64_t>(std::llround(v * 1e12));
 }
 
 }  // namespace
+
+std::vector<std::int64_t> quantize_intervals(
+    const std::vector<sched::Interval>& intervals) {
+  std::vector<std::int64_t> key;
+  key.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    key.push_back(quantize_seconds(iv.h));
+    key.push_back(quantize_seconds(iv.tau));
+  }
+  return key;
+}
 
 Evaluator::Evaluator(SystemModel model, control::DesignOptions design_opts,
                      ThreadPool* pool)
     : model_(std::move(model)), design_opts_(design_opts), pool_(pool) {
   model_.validate();
   wcets_ = model_.analyze_wcets();
+  tidle_ = model_.tidle_vector();
 }
 
 bool Evaluator::idle_feasible(const sched::PeriodicSchedule& s) const {
-  return sched::idle_feasible(sched::derive_timing(wcets_, s),
-                              model_.tidle_vector());
+  return sched::idle_feasible(sched::derive_timing(wcets_, s), tidle_);
 }
 
 bool Evaluator::idle_feasible(const sched::InterleavedSchedule& s) const {
-  return sched::idle_feasible(sched::derive_timing(wcets_, s),
-                              model_.tidle_vector());
+  return sched::idle_feasible(sched::derive_timing(wcets_, s), tidle_);
+}
+
+bool Evaluator::idle_feasible(const sched::ScheduleTiming& timing) const {
+  return sched::idle_feasible(timing, tidle_);
 }
 
 AppEvaluation Evaluator::evaluate_app(
     std::size_t app, const std::vector<sched::Interval>& intervals) {
+  return evaluate_app_keyed(app, intervals, quantize_intervals(intervals));
+}
+
+AppEvaluation Evaluator::evaluate_app_keyed(
+    std::size_t app, const std::vector<sched::Interval>& intervals,
+    std::vector<std::int64_t> key) {
   ++design_requests_;
-  const MemoKey key{app, quantize(intervals)};
+  const MemoKey memo_key{app, std::move(key)};
   // Compute-once: concurrent requests for the same timing pattern run the
   // expensive design exactly once and all observe the finished result.
-  return memo_.get_or_compute(key, [&] {
+  return memo_.get_or_compute(memo_key, [&] {
     const Application& a = model_.apps[app];
     control::DesignSpec spec;
     spec.plant = a.plant;
@@ -61,6 +89,10 @@ AppEvaluation Evaluator::evaluate_app(
                          ? 1.0 - ev.settling_time / a.smax
                          : -std::numeric_limits<double>::infinity();
     ev.feasible = ev.design.feasible && ev.performance >= 0.0;
+    // Fingerprint for the delta path: neighbors whose quantized pattern
+    // matches reuse this evaluation without a design-memo round trip.
+    ev.pattern_key = memo_key.second;
+    ev.pattern_hash = VectorHash{}(memo_key.second);
     return ev;
   });
 }
@@ -79,26 +111,36 @@ const ScheduleEvaluation& Evaluator::evaluate_cached(
   return schedule_memo_.get_or_compute(key, [&] { return evaluate(s); });
 }
 
-ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
-  ScheduleEvaluation out;
-  out.timing = sched::derive_timing(wcets_, s);
-  out.idle_feasible =
-      sched::idle_feasible(out.timing, model_.tidle_vector());
+ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s,
+                                       const ScheduleEvaluation& base_hint) {
+  const std::size_t napps = model_.num_apps();
+  if (base_hint.apps.size() != napps ||
+      base_hint.timing.apps.size() != napps) {
+    return evaluate(s);  // unusable hint (e.g. default-constructed)
+  }
+  sched::ScheduleTiming timing = sched::derive_timing(wcets_, s);
+  std::vector<bool> unchanged(napps);
+  for (std::size_t i = 0; i < napps; ++i) {
+    unchanged[i] =
+        timing.apps[i].intervals == base_hint.timing.apps[i].intervals;
+  }
+  return evaluate_neighbor_from_timing(base_hint, std::move(timing),
+                                       unchanged);
+}
+
+const ScheduleEvaluation& Evaluator::evaluate_cached(
+    const sched::InterleavedSchedule& s, const std::string& key,
+    const ScheduleEvaluation& base_hint) {
+  return schedule_memo_.get_or_compute(key,
+                                       [&] { return evaluate(s, base_hint); });
+}
+
+void Evaluator::reduce_apps(ScheduleEvaluation& out,
+                            std::vector<AppEvaluation>& evs) {
   out.control_feasible = true;
   out.pall = 0.0;
-  const std::size_t napps = model_.num_apps();
-  // Batched per-app designs: every app of this schedule lands in its own
-  // index-addressed slot (fanned across pool_ when present; each design
-  // additionally batches its PSO generations on the same pool), then Pall
-  // is reduced serially in app order — bit-identical to the serial loop.
-  // The per-app memo stays in the path, so a pattern shared with another
-  // schedule (or requested concurrently) is still designed exactly once.
-  std::vector<AppEvaluation> evs(napps);
-  parallel_for(pool_, napps, [&](std::size_t i) {
-    evs[i] = evaluate_app(i, out.timing.apps[i].intervals);
-  });
-  out.apps.reserve(napps);
-  for (std::size_t i = 0; i < napps; ++i) {
+  out.apps.reserve(evs.size());
+  for (std::size_t i = 0; i < evs.size(); ++i) {
     AppEvaluation& ev = evs[i];
     out.control_feasible = out.control_feasible && ev.feasible;
     if (std::isfinite(ev.performance)) {
@@ -108,7 +150,149 @@ ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
     }
     out.apps.push_back(std::move(ev));
   }
+}
+
+ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
+  ScheduleEvaluation out;
+  out.timing = sched::derive_timing(wcets_, s);
+  out.idle_feasible = sched::idle_feasible(out.timing, tidle_);
+  const std::size_t napps = model_.num_apps();
+  // Batched per-app designs: every app of this schedule lands in its own
+  // index-addressed slot (fanned across pool_ when present; each design
+  // additionally batches its PSO generations on the same pool), then Pall
+  // is reduced serially in app order — bit-identical to the serial loop.
+  // The per-app memo stays in the path, so a pattern shared with another
+  // schedule (or requested concurrently) is still designed exactly once.
+  std::vector<AppEvaluation> evs(napps);
+  const auto body = [&](std::size_t i) {
+    evs[i] = evaluate_app(i, out.timing.apps[i].intervals);
+  };
+  // Inline serial loop: no std::function round trip on the hot
+  // (memoized-design) path.
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < napps; ++i) body(i);
+  } else {
+    parallel_for(pool_, napps, body);
+  }
+  reduce_apps(out, evs);
   return out;
+}
+
+const sched::TimingPattern& Evaluator::timing_pattern(
+    const sched::InterleavedSchedule& s, const std::string& key) {
+  return pattern_memo_.get_or_compute(
+      key, [&] { return sched::expand_timing(wcets_, s); });
+}
+
+ScheduleEvaluation Evaluator::evaluate_neighbor_from_timing(
+    const ScheduleEvaluation& base_eval, sched::ScheduleTiming&& timing,
+    const std::vector<bool>& app_unchanged) {
+  ++neighbor_evaluations_;
+  ScheduleEvaluation out;
+  out.timing = std::move(timing);
+  out.idle_feasible = sched::idle_feasible(out.timing, tidle_);
+  const std::size_t napps = model_.num_apps();
+  // Same fan-out/serial-reduction shape as evaluate(): reused apps cost a
+  // copy, changed apps re-enter the design memo — so parallel runs stay
+  // bit-identical to serial and to the from-scratch evaluation.
+  std::vector<AppEvaluation> evs(napps);
+  const auto body = [&](std::size_t i) {
+    const AppEvaluation& prior = base_eval.apps[i];
+    if (app_unchanged[i]) {
+      // Interval list provably identical to the base schedule's: the
+      // quantized key would match too, so skip re-quantization entirely.
+      evs[i] = prior;
+      ++apps_reused_;
+      return;
+    }
+    std::vector<std::int64_t> key =
+        quantize_intervals(out.timing.apps[i].intervals);
+    if (VectorHash{}(key) == prior.pattern_hash && key == prior.pattern_key) {
+      // Sub-picosecond drift only: same design problem as the base.
+      evs[i] = prior;
+      ++apps_reused_;
+      return;
+    }
+    evs[i] = evaluate_app_keyed(i, out.timing.apps[i].intervals,
+                                std::move(key));
+  };
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < napps; ++i) body(i);
+  } else {
+    parallel_for(pool_, napps, body);
+  }
+  reduce_apps(out, evs);
+  return out;
+}
+
+ScheduleEvaluation Evaluator::evaluate_neighbor(
+    const sched::TimingPattern& base_pattern,
+    const ScheduleEvaluation& base_eval, const sched::TaskMove& move) {
+  std::vector<bool> unchanged;
+  sched::ScheduleTiming timing =
+      sched::derive_timing_delta(wcets_, base_pattern, move, &unchanged);
+  return evaluate_neighbor_from_timing(base_eval, std::move(timing),
+                                       unchanged);
+}
+
+ScheduleEvaluation Evaluator::evaluate_neighbor(
+    const ScheduleEvaluation& base_eval, sched::ScheduleTiming&& timing,
+    const std::vector<bool>& app_unchanged) {
+  return evaluate_neighbor_from_timing(base_eval, std::move(timing),
+                                       app_unchanged);
+}
+
+const ScheduleEvaluation& Evaluator::evaluate_neighbor_cached(
+    const ScheduleEvaluation& base_eval, sched::ScheduleTiming&& timing,
+    const std::vector<bool>& app_unchanged, const std::string& key) {
+  return schedule_memo_.get_or_compute(key, [&] {
+    return evaluate_neighbor_from_timing(base_eval, std::move(timing),
+                                         app_unchanged);
+  });
+}
+
+const ScheduleEvaluation& Evaluator::evaluate_periodic_move(
+    const sched::PeriodicSchedule& base, const sched::PeriodicSchedule& moved) {
+  const auto moved_il = sched::InterleavedSchedule::from_periodic(moved);
+  const std::string moved_key = moved_il.to_string();
+  // Locate the single +-1 burst difference; anything else (different app
+  // count, multi-dimension change, |step| > 1) falls back to the full path.
+  std::size_t dim = base.num_apps();
+  int step = 0;
+  bool delta_ok = base.num_apps() == moved.num_apps();
+  for (std::size_t i = 0; delta_ok && i < base.num_apps(); ++i) {
+    const int d = moved.burst(i) - base.burst(i);
+    if (d == 0) continue;
+    if (step != 0 || (d != 1 && d != -1)) {
+      delta_ok = false;
+    } else {
+      dim = i;
+      step = d;
+    }
+  }
+  if (!delta_ok || step == 0) return evaluate_cached(moved_il, moved_key);
+
+  const auto base_il = sched::InterleavedSchedule::from_periodic(base);
+  const std::string base_key = base_il.to_string();
+  const ScheduleEvaluation& base_eval = evaluate_cached(base_il, base_key);
+  const sched::TimingPattern& pattern = timing_pattern(base_il, base_key);
+  // Task position: end of burst `dim` (bursts are laid out in app order).
+  std::size_t prefix = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    prefix += static_cast<std::size_t>(base.burst(i));
+  }
+  sched::TaskMove move;
+  move.app = dim;
+  if (step > 0) {
+    move.kind = sched::TaskMove::Kind::insert;
+    move.pos = prefix + static_cast<std::size_t>(base.burst(dim));
+  } else {
+    move.kind = sched::TaskMove::Kind::remove;
+    move.pos = prefix + static_cast<std::size_t>(base.burst(dim)) - 1;
+  }
+  return schedule_memo_.get_or_compute(moved_key, [&] {
+    return evaluate_neighbor(pattern, base_eval, move);
+  });
 }
 
 }  // namespace catsched::core

@@ -18,12 +18,25 @@
 
 namespace catsched::core {
 
+/// Quantize an interval list to picoseconds for use as a design-memo key
+/// (two timing patterns closer than 1 ps are the same design problem).
+/// \throws std::invalid_argument if any h/tau is non-finite or beyond the
+///         quantization range (~9e6 s): std::llround on such values would
+///         be undefined behavior, so they are rejected before keying.
+std::vector<std::int64_t> quantize_intervals(
+    const std::vector<sched::Interval>& intervals);
+
 /// Per-application outcome inside one schedule evaluation.
 struct AppEvaluation {
   control::DesignResult design;
   double settling_time = 0.0;  ///< s_i (infinity if never settles)
   double performance = 0.0;    ///< P_i = 1 - s_i / s_i^max (paper eq. (2))
   bool feasible = false;       ///< P_i >= 0 and design feasible (eq. (3))
+  /// Quantized timing pattern this evaluation was designed for, and its
+  /// fingerprint: evaluate_neighbor compares a neighbor app's fingerprint
+  /// against these to reuse the evaluation without a design-memo round trip.
+  std::vector<std::int64_t> pattern_key;
+  std::uint64_t pattern_hash = 0;
 };
 
 /// Outcome of evaluating one schedule.
@@ -70,10 +83,69 @@ public:
   /// Cheap feasibility: idle-time constraint only (paper eq. (4)).
   bool idle_feasible(const sched::PeriodicSchedule& s) const;
   bool idle_feasible(const sched::InterleavedSchedule& s) const;
+  /// Same check on an already-derived timing (the incremental path derives
+  /// timing once via derive_timing_delta and filters on it directly).
+  bool idle_feasible(const sched::ScheduleTiming& timing) const;
 
   /// Full evaluation: per-app holistic controller design + Pall.
   ScheduleEvaluation evaluate(const sched::PeriodicSchedule& s);
   ScheduleEvaluation evaluate(const sched::InterleavedSchedule& s);
+
+  /// Full evaluation with a base hint: timing is derived from scratch (the
+  /// schedule need not be a one-task move of the base — segment swaps are
+  /// the main caller), but apps whose interval lists match the hint's are
+  /// reused without re-quantization, and quantized-fingerprint matches skip
+  /// the design-memo round trip. Bit-identical to evaluate(s) for ANY hint
+  /// (matching lists imply the same design-memo entry).
+  ScheduleEvaluation evaluate(const sched::InterleavedSchedule& s,
+                              const ScheduleEvaluation& base_hint);
+
+  /// Memoized variant of the hinted evaluation (same schedule memo as
+  /// evaluate_cached, so either path may own a key — the values are
+  /// bit-identical).
+  const ScheduleEvaluation& evaluate_cached(
+      const sched::InterleavedSchedule& s, const std::string& key,
+      const ScheduleEvaluation& base_hint);
+
+  /// Expanded per-task pattern of a base schedule, memoized on the
+  /// canonical key (s.to_string()); the anchor every delta evaluation of
+  /// its neighbors starts from. Reference stays valid for the evaluator's
+  /// lifetime.
+  const sched::TimingPattern& timing_pattern(
+      const sched::InterleavedSchedule& s, const std::string& key);
+
+  /// Delta-aware evaluation of the one-task-move neighbor of a base
+  /// schedule: derives timing incrementally from \p base_pattern and reuses
+  /// \p base_eval's AppEvaluations for every app whose interval list is
+  /// provably unchanged (no re-quantization) or whose quantized fingerprint
+  /// matches (no design-memo round trip). Bit-identical to evaluate() on
+  /// the moved schedule (gtest-enforced differentially).
+  ScheduleEvaluation evaluate_neighbor(
+      const sched::TimingPattern& base_pattern,
+      const ScheduleEvaluation& base_eval, const sched::TaskMove& move);
+
+  /// Same, for callers that already ran derive_timing_delta (e.g. to check
+  /// idle feasibility first, as the interleaved search's pre-filter does):
+  /// completes the evaluation from the derived timing without re-deriving.
+  ScheduleEvaluation evaluate_neighbor(const ScheduleEvaluation& base_eval,
+                                       sched::ScheduleTiming&& timing,
+                                       const std::vector<bool>& app_unchanged);
+
+  /// Memoized neighbor evaluation for callers that pre-derived the moved
+  /// timing (the interleaved search's idle pre-filter already ran the
+  /// delta): on a schedule-memo miss the evaluation is completed from
+  /// \p timing + \p app_unchanged; on a hit they are discarded. \p key is
+  /// the canonical string of the MOVED schedule.
+  const ScheduleEvaluation& evaluate_neighbor_cached(
+      const ScheduleEvaluation& base_eval, sched::ScheduleTiming&& timing,
+      const std::vector<bool>& app_unchanged, const std::string& key);
+
+  /// Delta-aware periodic m +- e_i evaluation used by the hybrid search:
+  /// routes through the schedule memo, evaluating the moved point as a
+  /// one-task neighbor of \p base (falls back to a full evaluation if the
+  /// points are not single-burst neighbors). Bit-identical to evaluate().
+  const ScheduleEvaluation& evaluate_periodic_move(
+      const sched::PeriodicSchedule& base, const sched::PeriodicSchedule& moved);
 
   /// Memoized whole-schedule evaluation, keyed on the canonical segment
   /// string: however many searches (or threads) revisit a segment pattern,
@@ -92,10 +164,27 @@ public:
   int designs_run() const noexcept { return designs_run_.load(); }
   /// Number of per-application design requests (incl. memo hits).
   int design_requests() const noexcept { return design_requests_.load(); }
+  /// Evaluations completed against a base (one-task deltas and hinted
+  /// swap fallbacks; schedule-memo misses taken by the incremental path).
+  int neighbor_evaluations() const noexcept {
+    return neighbor_evaluations_.load();
+  }
+  /// AppEvaluations reused from a base evaluation without touching the
+  /// design memo (delta-proven unchanged or fingerprint match).
+  int apps_reused() const noexcept { return apps_reused_.load(); }
 
 private:
   AppEvaluation evaluate_app(std::size_t app,
                              const std::vector<sched::Interval>& intervals);
+  AppEvaluation evaluate_app_keyed(std::size_t app,
+                                   const std::vector<sched::Interval>& intervals,
+                                   std::vector<std::int64_t> key);
+  /// The serial Pall reduction shared by evaluate() and the neighbor path
+  /// (one code path = bit-identical sums).
+  void reduce_apps(ScheduleEvaluation& out, std::vector<AppEvaluation>& evs);
+  ScheduleEvaluation evaluate_neighbor_from_timing(
+      const ScheduleEvaluation& base_eval, sched::ScheduleTiming&& timing,
+      const std::vector<bool>& app_unchanged);
 
   using MemoKey = std::pair<std::size_t, std::vector<std::int64_t>>;
 
@@ -103,10 +192,14 @@ private:
   control::DesignOptions design_opts_;
   ThreadPool* pool_ = nullptr;
   std::vector<sched::AppWcet> wcets_;
+  std::vector<double> tidle_;  ///< per-app idle-time limits (fixed by model)
   ConcurrentMemoMap<MemoKey, AppEvaluation, IndexedVectorHash> memo_;
   ConcurrentMemoMap<std::string, ScheduleEvaluation> schedule_memo_;
+  ConcurrentMemoMap<std::string, sched::TimingPattern> pattern_memo_;
   std::atomic<int> designs_run_{0};
   std::atomic<int> design_requests_{0};
+  std::atomic<int> neighbor_evaluations_{0};
+  std::atomic<int> apps_reused_{0};
 };
 
 }  // namespace catsched::core

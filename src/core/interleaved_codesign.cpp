@@ -1,6 +1,9 @@
 #include "core/interleaved_codesign.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace catsched::core {
@@ -9,6 +12,7 @@ namespace {
 
 using sched::InterleavedSchedule;
 using sched::Segment;
+using sched::TaskMove;
 
 /// Merge cyclically-adjacent same-app segments so the candidate satisfies
 /// the InterleavedSchedule invariant after a removal.
@@ -29,41 +33,80 @@ std::vector<Segment> merge_adjacent(std::vector<Segment> segs) {
   return segs;
 }
 
-/// Try to construct; invalid candidates are silently dropped.
-void push_if_valid(std::vector<InterleavedSchedule>& out,
-                   std::vector<Segment> segs, std::size_t num_apps) {
+/// Try to construct; invalid candidates are silently dropped. When the
+/// candidate is kept and \p move is set, the move describes it as a
+/// one-task edit of the base sequence (the incremental evaluation path).
+void push_if_valid(std::vector<InterleavedNeighbor>& out,
+                   std::vector<Segment> segs, std::size_t num_apps,
+                   std::optional<TaskMove> move = std::nullopt) {
   try {
-    out.emplace_back(std::move(segs), num_apps);
+    InterleavedNeighbor n{InterleavedSchedule(std::move(segs), num_apps),
+                          std::move(move)};
+    out.push_back(std::move(n));
   } catch (const std::invalid_argument&) {
   }
 }
 
+TaskMove insert_move(std::size_t pos, std::size_t app) {
+  TaskMove m;
+  m.kind = TaskMove::Kind::insert;
+  m.pos = pos;
+  m.app = app;
+  return m;
+}
+
+TaskMove remove_move(std::size_t pos, std::size_t app) {
+  TaskMove m;
+  m.kind = TaskMove::Kind::remove;
+  m.pos = pos;
+  m.app = app;
+  return m;
+}
+
 }  // namespace
 
-std::vector<InterleavedSchedule> interleaved_neighbors(
+std::vector<InterleavedNeighbor> interleaved_neighbor_moves(
     const InterleavedSchedule& schedule, const InterleavedSearchOptions& opts) {
   const auto& segs = schedule.segments();
   const std::size_t n = schedule.num_apps();
-  std::vector<InterleavedSchedule> out;
+  std::vector<InterleavedNeighbor> out;
+
+  // Task index of each segment's first task (segments run back to back).
+  std::vector<std::size_t> first_task(segs.size() + 1, 0);
+  for (std::size_t s = 0; s < segs.size(); ++s) {
+    first_task[s + 1] = first_task[s] + static_cast<std::size_t>(segs[s].count);
+  }
+  const std::vector<std::size_t> base_seq = schedule.task_sequence();
 
   for (std::size_t s = 0; s < segs.size(); ++s) {
-    // Grow a burst.
+    const std::size_t seg_end =
+        first_task[s] + static_cast<std::size_t>(segs[s].count);
+    // Grow a burst: one more task at the end of the segment (any position
+    // inside the burst yields the same sequence; the end keeps the
+    // successor's classification untouched).
     if (segs[s].count < opts.max_burst) {
       auto grown = segs;
       ++grown[s].count;
-      push_if_valid(out, std::move(grown), n);
+      push_if_valid(out, std::move(grown), n,
+                    insert_move(seg_end, segs[s].app));
     }
     // Shrink a burst / remove a singleton segment.
     if (segs[s].count > 1) {
       auto shrunk = segs;
       --shrunk[s].count;
-      push_if_valid(out, std::move(shrunk), n);
+      push_if_valid(out, std::move(shrunk), n,
+                    remove_move(seg_end - 1, segs[s].app));
     } else {
       auto removed = segs;
       removed.erase(removed.begin() + static_cast<std::ptrdiff_t>(s));
-      push_if_valid(out, merge_adjacent(std::move(removed)), n);
+      // The merge can wrap around the period and rotate the canonical task
+      // sequence away from "base minus one task"; the verification pass
+      // below strips the descriptor from such neighbors.
+      push_if_valid(out, merge_adjacent(std::move(removed)), n,
+                    remove_move(first_task[s], segs[s].app));
     }
-    // Swap with the cyclic successor.
+    // Swap with the cyclic successor: a block permutation, not a one-task
+    // edit — no delta descriptor.
     if (segs.size() > 2) {
       auto swapped = segs;
       std::swap(swapped[s], swapped[(s + 1) % swapped.size()]);
@@ -71,16 +114,41 @@ std::vector<InterleavedSchedule> interleaved_neighbors(
     }
   }
 
-  // Insert a fresh count-1 segment of any app at any gap.
+  // Insert a fresh count-1 segment of any app at any gap (gap g = before
+  // segment g; gap segs.size() = end of the period).
   if (segs.size() < static_cast<std::size_t>(opts.max_segments)) {
     for (std::size_t app = 0; app < n; ++app) {
       for (std::size_t gap = 0; gap <= segs.size(); ++gap) {
         auto grown = segs;
         grown.insert(grown.begin() + static_cast<std::ptrdiff_t>(gap),
                      Segment{app, 1});
-        push_if_valid(out, std::move(grown), n);
+        push_if_valid(out, std::move(grown), n,
+                      insert_move(first_task[gap], app));
       }
     }
+  }
+
+  // Safety net for the delta contract: a descriptor is only kept when the
+  // candidate's canonical task sequence really is the base sequence with
+  // the one edit applied (segment merges can rotate it; see above).
+  for (InterleavedNeighbor& nb : out) {
+    if (!nb.move) continue;
+    if (sched::apply_move(base_seq, *nb.move) !=
+        nb.schedule.task_sequence()) {
+      nb.move.reset();
+    }
+  }
+  return out;
+}
+
+std::vector<InterleavedSchedule> interleaved_neighbors(
+    const InterleavedSchedule& schedule, const InterleavedSearchOptions& opts) {
+  std::vector<InterleavedNeighbor> moves =
+      interleaved_neighbor_moves(schedule, opts);
+  std::vector<InterleavedSchedule> out;
+  out.reserve(moves.size());
+  for (InterleavedNeighbor& nb : moves) {
+    out.push_back(std::move(nb.schedule));
   }
   return out;
 }
@@ -109,8 +177,9 @@ InterleavedSearchResult interleaved_search(
   };
 
   InterleavedSchedule current = start;
+  std::string current_key = current.to_string();
   ScheduleEvaluation current_eval = evaluate(current);
-  res.path.push_back(current.to_string());
+  res.path.push_back(current_key);
   if (current_eval.feasible()) {
     res.best = current;
     res.best_evaluation = current_eval;
@@ -118,39 +187,83 @@ InterleavedSearchResult interleaved_search(
   }
 
   for (int step = 0; step < opts.max_steps; ++step) {
-    const auto neighbors = interleaved_neighbors(current, opts);
-    std::vector<InterleavedSchedule> kept;
+    auto neighbors = interleaved_neighbor_moves(current, opts);
+    // Idle pre-filter (cheap, serial): delta-representable neighbors derive
+    // their timing incrementally from the current pattern — one partial
+    // re-derivation instead of the from-scratch derive_timing — and carry
+    // the result into the evaluation batch below so it is not re-derived.
+    const sched::TimingPattern* pattern =
+        opts.incremental ? &evaluator.timing_pattern(current, current_key)
+                         : nullptr;
+    struct Kept {
+      InterleavedSchedule schedule;
+      sched::ScheduleTiming timing;      // delta-derived (incremental only)
+      std::vector<bool> app_unchanged;   // vs. the current schedule
+      bool delta = false;
+    };
+    std::vector<Kept> kept;
     kept.reserve(neighbors.size());
-    for (const auto& cand : neighbors) {
-      if (!evaluator.idle_feasible(cand)) continue;
-      kept.push_back(cand);
+    std::vector<bool> unchanged;
+    for (auto& cand : neighbors) {
+      if (pattern != nullptr && cand.move) {
+        sched::ScheduleTiming timing = sched::derive_timing_delta(
+            evaluator.wcets(), *pattern, *cand.move, &unchanged);
+        if (!evaluator.idle_feasible(timing)) continue;
+        kept.push_back(Kept{std::move(cand.schedule), std::move(timing),
+                            unchanged, true});
+      } else {
+        if (!evaluator.idle_feasible(cand.schedule)) continue;
+        kept.push_back(Kept{std::move(cand.schedule), {}, {}, false});
+      }
     }
     // Steepest ascent: evaluate every feasible neighbor, take the best.
     // The batch fans out over the pool into index-addressed slots (memo
-    // hits return instantly, misses run the full WCET + design pipeline —
-    // high variance, hence the small chunks); the reduction below walks
-    // the slots serially in neighbor order, so the chosen move — and with
-    // it the whole accepted path — is bit-identical to the serial run.
+    // hits return instantly, misses run the delta completion or the full
+    // WCET + design pipeline — high variance, hence the small chunks); the
+    // reduction below walks the slots serially in neighbor order, so the
+    // chosen move — and with it the whole accepted path — is bit-identical
+    // to the serial run AND to the from-scratch (incremental=false) run.
     std::vector<const ScheduleEvaluation*> evals(kept.size(), nullptr);
-    parallel_for(pool, kept.size(), opts.chunk,
-                 [&](std::size_t k) { evals[k] = &evaluate(kept[k]); });
+    parallel_for(pool, kept.size(), opts.chunk, [&](std::size_t k) {
+      Kept& c = kept[k];
+      if (!c.delta) {
+        if (pattern == nullptr) {
+          evals[k] = &evaluate(c.schedule);
+          return;
+        }
+        // Swap fallback (incremental mode): full timing derivation, but
+        // apps whose patterns survive the swap reuse the current
+        // evaluations (bit-identical to the plain path for any hint).
+        const std::string key = c.schedule.to_string();
+        evals[k] = memo.get_or_compute(key, [&] {
+          return &evaluator.evaluate_cached(c.schedule, key, current_eval);
+        });
+        return;
+      }
+      const std::string key = c.schedule.to_string();
+      evals[k] = memo.get_or_compute(key, [&] {
+        return &evaluator.evaluate_neighbor_cached(
+            current_eval, std::move(c.timing), c.app_unchanged, key);
+      });
+    });
     const InterleavedSchedule* next = nullptr;
     ScheduleEvaluation next_eval;
     for (std::size_t k = 0; k < kept.size(); ++k) {
       const ScheduleEvaluation& eval = *evals[k];
       if (!eval.feasible()) continue;
       if (next == nullptr || eval.pall > next_eval.pall) {
-        next = &kept[k];
+        next = &kept[k].schedule;
         next_eval = eval;
       }
     }
     if (next == nullptr) break;
     const double gain = next_eval.pall - current_eval.pall;
     if (gain <= 0.0 && -gain > opts.tolerance) break;  // local optimum
-    if (gain <= 0.0 && next->to_string() == current.to_string()) break;
+    if (gain <= 0.0 && next->to_string() == current_key) break;
     current = *next;
+    current_key = current.to_string();
     current_eval = next_eval;
-    res.path.push_back(current.to_string());
+    res.path.push_back(current_key);
     ++res.steps;
     if (current_eval.feasible() &&
         (!res.found || current_eval.pall > res.best_evaluation.pall)) {

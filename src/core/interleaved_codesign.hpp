@@ -15,8 +15,9 @@
 /// by test_interleaved_search). The pool is opt-in; the default (nullptr)
 /// evaluates serially, exactly like core/codesign.
 
-#include <set>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/evaluator.hpp"
 
@@ -32,6 +33,13 @@ struct InterleavedSearchOptions {
                                ///< candidates have high cost variance
                                ///< (feasibility early-outs), so small
                                ///< chunks keep workers from starving
+  /// Delta-aware neighbor evaluation: neighbors expressible as a one-task
+  /// move re-derive timing incrementally from the current schedule's
+  /// pattern and reuse its per-app evaluations where the pattern is
+  /// unchanged. Bit-identical to the from-scratch path (gtest-enforced);
+  /// off = the pre-incremental behavior, kept for differential tests and
+  /// benchmarking.
+  bool incremental = true;
 };
 
 /// Outcome of the interleaved search.
@@ -44,6 +52,17 @@ struct InterleavedSearchResult {
   std::vector<std::string> path;  ///< accepted schedules, start first
 };
 
+/// One neighbor candidate plus its delta descriptor: `move` is set iff the
+/// neighbor's task sequence is exactly the base sequence with one task
+/// inserted/removed (grow/shrink/insert/remove moves; a removal whose
+/// segment merge wraps around the period rotates the sequence and gets no
+/// descriptor, as do segment swaps) — only then can derive_timing_delta
+/// reproduce the from-scratch derivation bit-for-bit.
+struct InterleavedNeighbor {
+  sched::InterleavedSchedule schedule;
+  std::optional<sched::TaskMove> move;
+};
+
 /// All valid one-move neighbors of an interleaved schedule:
 ///  * increment / decrement one segment's count,
 ///  * remove a count-1 segment (merging newly adjacent same-app segments),
@@ -52,6 +71,12 @@ struct InterleavedSearchResult {
 /// Only schedules passing InterleavedSchedule's own invariants are
 /// returned; the segment/burst caps prune the move set.
 std::vector<sched::InterleavedSchedule> interleaved_neighbors(
+    const sched::InterleavedSchedule& schedule,
+    const InterleavedSearchOptions& opts = {});
+
+/// Same neighbors in the same order, each with its task-move descriptor
+/// when delta-representable (the incremental search path consumes these).
+std::vector<InterleavedNeighbor> interleaved_neighbor_moves(
     const sched::InterleavedSchedule& schedule,
     const InterleavedSearchOptions& opts = {});
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 #include "control/lti.hpp"
 #include "control/switched.hpp"

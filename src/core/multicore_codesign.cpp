@@ -2,6 +2,8 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::core {
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <functional>
+#include <utility>
 
 namespace catsched::core {
 

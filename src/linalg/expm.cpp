@@ -1,5 +1,6 @@
 #include "linalg/expm.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <iterator>

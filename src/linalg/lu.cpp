@@ -1,8 +1,11 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace catsched::linalg {
 

@@ -1,6 +1,7 @@
 #include "linalg/lyap.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "linalg/lu.hpp"
 

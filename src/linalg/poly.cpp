@@ -1,7 +1,10 @@
 #include "linalg/poly.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::linalg {
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::linalg {
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::opt {
 

@@ -1,8 +1,11 @@
 #include "opt/discrete_search.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace catsched::opt {
 
@@ -17,12 +20,28 @@ const EvalOutcome& EvalCache::evaluate(const std::vector<int>& p,
   return out;
 }
 
+const EvalOutcome& EvalCache::evaluate_neighbor_of(
+    const std::vector<int>& base, const std::vector<int>& p,
+    std::atomic<int>* misses) {
+  if (!neighbor_) return evaluate(p, misses);
+  bool computed = false;
+  // The neighbor objective is bit-identical to the plain one (its
+  // contract), so whichever path wins the memo slot stores the same value.
+  const EvalOutcome& out = cache_.get_or_compute(p, [&] {
+    computed = true;
+    return neighbor_(base, p);
+  });
+  if (computed && misses != nullptr) misses->fetch_add(1);
+  return out;
+}
+
 std::vector<const EvalOutcome*> EvalCache::evaluate_batch(
     const std::vector<const std::vector<int>*>& points, core::ThreadPool* pool,
-    std::atomic<int>* misses) {
+    std::atomic<int>* misses, const std::vector<int>* base) {
   std::vector<const EvalOutcome*> out(points.size(), nullptr);
   core::parallel_for(pool, points.size(), [&](std::size_t i) {
-    out[i] = &evaluate(*points[i], misses);
+    out[i] = base != nullptr ? &evaluate_neighbor_of(*base, *points[i], misses)
+                             : &evaluate(*points[i], misses);
   });
   return out;
 }
@@ -97,8 +116,10 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     std::vector<const std::vector<int>*> batch;
     batch.reserve(neighbors.size());
     for (const Neighbor& nb : neighbors) batch.push_back(&nb.point);
+    // Every candidate is a +-1 neighbor of cur: memo misses take the
+    // delta-aware path when the cache has one (bit-identical results).
     const std::vector<const EvalOutcome*> outcomes =
-        cache.evaluate_batch(batch, pool, &run_misses);
+        cache.evaluate_batch(batch, pool, &run_misses, &cur);
 
     std::vector<std::optional<double>> f_minus(n);
     std::vector<std::optional<double>> f_plus(n);
@@ -167,8 +188,8 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
 MultiStartResult hybrid_search_multistart(
     const DiscreteObjective& objective, const CheapFeasible& cheap,
     const std::vector<std::vector<int>>& starts, const HybridOptions& opts,
-    core::ThreadPool* pool) {
-  EvalCache cache(objective);
+    core::ThreadPool* pool, const NeighborObjective& neighbor) {
+  EvalCache cache(objective, neighbor);
   MultiStartResult res;
   res.runs.resize(starts.size());
   core::parallel_for(pool, starts.size(), [&](std::size_t i) {

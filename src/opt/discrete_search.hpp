@@ -23,6 +23,15 @@ struct EvalOutcome {
 /// Expensive objective over integer decision vectors (m1..mn), maximized.
 using DiscreteObjective = std::function<EvalOutcome(const std::vector<int>&)>;
 
+/// Optional delta-aware objective: evaluate `point` as a neighbor of
+/// `base` (the searches only pass single-dimension +-1 moves). MUST return
+/// a result bit-identical to the plain objective on `point` — the memo
+/// stores whichever path computed a point first, so any divergence would
+/// leak across runs. Implementations fall back internally when the pair is
+/// not delta-representable (core::make_neighbor_objective does).
+using NeighborObjective = std::function<EvalOutcome(
+    const std::vector<int>& base, const std::vector<int>& point)>;
+
 /// Cheap pre-filter known before any control evaluation (paper eq. (4),
 /// the idle-time constraint). Must be monotone: if p is feasible, so is
 /// every q <= p componentwise (true for cache-aware timing, where every
@@ -38,8 +47,12 @@ using CheapFeasible = std::function<bool(const std::vector<int>&)>;
 /// tolerate concurrent calls on *distinct* points.
 class EvalCache {
 public:
-  explicit EvalCache(DiscreteObjective objective)
-      : objective_(std::move(objective)) {}
+  /// With a non-null \p neighbor objective, batch evaluations that carry a
+  /// base point route memo misses through it (the delta-aware path);
+  /// results must be bit-identical to \p objective (see NeighborObjective).
+  explicit EvalCache(DiscreteObjective objective,
+                     NeighborObjective neighbor = nullptr)
+      : objective_(std::move(objective)), neighbor_(std::move(neighbor)) {}
 
   /// Evaluate through the cache. The reference stays valid for the cache's
   /// lifetime. If \p misses is non-null it is incremented when THIS call
@@ -47,13 +60,21 @@ public:
   const EvalOutcome& evaluate(const std::vector<int>& p,
                               std::atomic<int>* misses = nullptr);
 
+  /// Same, evaluating a memo miss as a neighbor of \p base when the
+  /// delta-aware objective is configured.
+  const EvalOutcome& evaluate_neighbor_of(const std::vector<int>& base,
+                                          const std::vector<int>& p,
+                                          std::atomic<int>* misses = nullptr);
+
   /// Batch objective API: evaluate every point (duplicates deduplicated by
   /// the memo) concurrently on \p pool — serially when pool is null — and
   /// return the outcomes in input order. Points are taken by pointer so
-  /// callers batch without copying their candidate vectors.
+  /// callers batch without copying their candidate vectors. A non-null
+  /// \p base marks every point as its neighbor (delta-aware misses).
   std::vector<const EvalOutcome*> evaluate_batch(
       const std::vector<const std::vector<int>*>& points,
-      core::ThreadPool* pool, std::atomic<int>* misses = nullptr);
+      core::ThreadPool* pool, std::atomic<int>* misses = nullptr,
+      const std::vector<int>* base = nullptr);
 
   /// Distinct points evaluated so far.
   int unique_evaluations() const {
@@ -62,6 +83,7 @@ public:
 
 private:
   DiscreteObjective objective_;
+  NeighborObjective neighbor_;
   core::ConcurrentMemoMap<std::vector<int>, EvalOutcome, core::VectorHash>
       cache_;
 };
@@ -117,7 +139,8 @@ struct MultiStartResult {
 MultiStartResult hybrid_search_multistart(
     const DiscreteObjective& objective, const CheapFeasible& cheap,
     const std::vector<std::vector<int>>& starts, const HybridOptions& opts,
-    core::ThreadPool* pool = nullptr);
+    core::ThreadPool* pool = nullptr,
+    const NeighborObjective& neighbor = nullptr);
 
 /// Exhaustive enumeration of the cheap-feasible (downward-closed) region.
 struct ExhaustiveResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <random>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::opt {
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace catsched::opt {
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 namespace catsched::opt {
 

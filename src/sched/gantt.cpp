@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace catsched::sched {
 

@@ -3,6 +3,9 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace catsched::sched {
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace catsched::sched {
 
@@ -16,6 +17,90 @@ void validate_wcets(const std::vector<AppWcet>& wcets, std::size_t num_apps) {
         w.warm_seconds > w.cold_seconds) {
       throw std::invalid_argument(
           "derive_timing: need 0 < warm <= cold for every app");
+    }
+  }
+}
+
+/// Steady-state cache classification of every task: a task is warm iff the
+/// cyclically-previous task is the same application. (With one app and one
+/// segment, every task is warm in steady state.)
+void classify_sequence(const std::vector<AppWcet>& wcets,
+                       const std::vector<std::size_t>& seq,
+                       std::vector<unsigned char>& warm,
+                       std::vector<double>& exec) {
+  const std::size_t t_count = seq.size();
+  warm.resize(t_count);
+  exec.resize(t_count);
+  for (std::size_t k = 0; k < t_count; ++k) {
+    const std::size_t prev = (k + t_count - 1) % t_count;
+    warm[k] = seq[prev] == seq[k] ? 1 : 0;
+    exec[k] = warm[k] ? wcets[seq[k]].warm_seconds : wcets[seq[k]].cold_seconds;
+  }
+}
+
+/// Start time of each task within the period (tasks run back-to-back).
+/// The accumulation order here is THE definition of the timing bits: the
+/// incremental path replays exactly this recurrence over its dirty tail.
+double accumulate_starts(const std::vector<double>& exec,
+                         std::vector<double>& start) {
+  start.resize(exec.size());
+  double period = 0.0;
+  for (std::size_t k = 0; k < exec.size(); ++k) {
+    start[k] = period;
+    period += exec[k];
+  }
+  return period;
+}
+
+/// Collect each app's task indices and build the interval lists; sampling
+/// period = distance to the app's next task start (cyclic).
+ScheduleTiming build_intervals(std::size_t num_apps,
+                               const std::vector<std::size_t>& seq,
+                               const std::vector<unsigned char>& warm,
+                               const std::vector<double>& exec,
+                               const std::vector<double>& start,
+                               double period) {
+  ScheduleTiming out;
+  out.period = period;
+  out.apps.resize(num_apps);
+  std::vector<std::vector<std::size_t>> own(num_apps);
+  for (std::size_t k = 0; k < seq.size(); ++k) own[seq[k]].push_back(k);
+  for (std::size_t app = 0; app < num_apps; ++app) {
+    AppTiming& at = out.apps[app];
+    const std::vector<std::size_t>& mine = own[app];
+    at.intervals.reserve(mine.size());
+    for (std::size_t j = 0; j < mine.size(); ++j) {
+      const std::size_t k = mine[j];
+      Interval iv;
+      iv.tau = exec[k];
+      iv.warm = warm[k] != 0;
+      if (j + 1 < mine.size()) {
+        iv.h = start[mine[j + 1]] - start[k];
+      } else {
+        iv.h = period - start[k] + start[mine[0]];
+      }
+      at.intervals.push_back(iv);
+    }
+  }
+  return out;
+}
+
+void validate_sequence(const std::vector<std::size_t>& seq,
+                       std::size_t num_apps) {
+  if (seq.empty() || num_apps == 0) {
+    throw std::invalid_argument("derive_timing: empty task sequence");
+  }
+  std::vector<bool> used(num_apps, false);
+  for (const std::size_t app : seq) {
+    if (app >= num_apps) {
+      throw std::invalid_argument("derive_timing: app index out of range");
+    }
+    used[app] = true;
+  }
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    if (!used[a]) {
+      throw std::invalid_argument(
+          "derive_timing: every app needs at least one task");
     }
   }
 }
@@ -55,53 +140,232 @@ ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
 
 ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
                              const InterleavedSchedule& schedule) {
-  validate_wcets(wcets, schedule.num_apps());
-  const std::vector<std::size_t> seq = schedule.task_sequence();
-  const std::size_t t_count = seq.size();
+  return derive_timing(wcets, schedule.task_sequence(), schedule.num_apps());
+}
 
-  // Steady-state cache state classification: a task is warm iff the
-  // cyclically-previous task is the same application. (With one app and one
-  // segment, every task is warm in steady state.)
-  std::vector<bool> warm(t_count);
-  std::vector<double> exec(t_count);
-  for (std::size_t k = 0; k < t_count; ++k) {
-    const std::size_t prev = (k + t_count - 1) % t_count;
-    warm[k] = (seq[prev] == seq[k]);
-    exec[k] = warm[k] ? wcets[seq[k]].warm_seconds : wcets[seq[k]].cold_seconds;
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const std::vector<std::size_t>& seq,
+                             std::size_t num_apps) {
+  validate_wcets(wcets, num_apps);
+  validate_sequence(seq, num_apps);
+  std::vector<unsigned char> warm;
+  std::vector<double> exec;
+  std::vector<double> start;
+  classify_sequence(wcets, seq, warm, exec);
+  const double period = accumulate_starts(exec, start);
+  return build_intervals(num_apps, seq, warm, exec, start, period);
+}
+
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const InterleavedSchedule& schedule) {
+  return expand_timing(wcets, schedule.task_sequence(), schedule.num_apps());
+}
+
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const std::vector<std::size_t>& seq,
+                            std::size_t num_apps) {
+  validate_wcets(wcets, num_apps);
+  validate_sequence(seq, num_apps);
+  TimingPattern p;
+  p.seq = seq;
+  classify_sequence(wcets, p.seq, p.warm, p.exec);
+  p.period = accumulate_starts(p.exec, p.start);
+  p.timing =
+      build_intervals(num_apps, p.seq, p.warm, p.exec, p.start, p.period);
+  return p;
+}
+
+std::vector<std::size_t> apply_move(const std::vector<std::size_t>& seq,
+                                    const TaskMove& move) {
+  std::vector<std::size_t> out;
+  if (move.kind == TaskMove::Kind::insert) {
+    if (move.pos > seq.size()) {
+      throw std::invalid_argument("apply_move: insert position out of range");
+    }
+    out.reserve(seq.size() + 1);
+    out.insert(out.end(), seq.begin(),
+               seq.begin() + static_cast<std::ptrdiff_t>(move.pos));
+    out.push_back(move.app);
+    out.insert(out.end(), seq.begin() + static_cast<std::ptrdiff_t>(move.pos),
+               seq.end());
+  } else {
+    if (move.pos >= seq.size()) {
+      throw std::invalid_argument("apply_move: remove position out of range");
+    }
+    out.reserve(seq.size() - 1);
+    out.insert(out.end(), seq.begin(),
+               seq.begin() + static_cast<std::ptrdiff_t>(move.pos));
+    out.insert(out.end(),
+               seq.begin() + static_cast<std::ptrdiff_t>(move.pos) + 1,
+               seq.end());
+  }
+  return out;
+}
+
+ScheduleTiming derive_timing_delta(const std::vector<AppWcet>& wcets,
+                                   const TimingPattern& base,
+                                   const TaskMove& move,
+                                   std::vector<bool>* app_unchanged) {
+  const std::size_t t = base.seq.size();
+  const std::size_t num_apps = base.timing.apps.size();
+  if (wcets.size() != num_apps) {
+    throw std::invalid_argument(
+        "derive_timing_delta: wcets/app count mismatch");
+  }
+  const bool inserting = move.kind == TaskMove::Kind::insert;
+  if (inserting) {
+    if (move.pos > t) {
+      throw std::invalid_argument(
+          "derive_timing_delta: insert position out of range");
+    }
+    if (move.app >= num_apps) {
+      throw std::invalid_argument("derive_timing_delta: app out of range");
+    }
+  } else {
+    if (move.pos >= t) {
+      throw std::invalid_argument(
+          "derive_timing_delta: remove position out of range");
+    }
+    if (t < 2 ||
+        base.timing.apps[base.seq[move.pos]].intervals.size() < 2) {
+      throw std::invalid_argument(
+          "derive_timing_delta: removal would leave an app without tasks");
+    }
   }
 
-  // Start time of each task within the period (tasks run back-to-back).
-  std::vector<double> start(t_count, 0.0);
-  double period = 0.0;
-  for (std::size_t k = 0; k < t_count; ++k) {
+  const std::size_t tn = inserting ? t + 1 : t - 1;
+  const std::size_t pos = move.pos;
+  const std::size_t moved_app = inserting ? move.app : base.seq[pos];
+
+  // The new sequence is the base sequence with one index shift; it is never
+  // materialized — tasks are read through this mapping (NEW index -> app).
+  const auto seq_at = [&](std::size_t k) -> std::size_t {
+    if (inserting) {
+      if (k == pos) return move.app;
+      return base.seq[k < pos ? k : k - 1];
+    }
+    return base.seq[k < pos ? k : k + 1];
+  };
+
+  // Only two classifications can change: the edited position itself (insert
+  // only) and the task that now follows it (its cyclic predecessor changed
+  // identity); every other task kept its predecessor's app, warm flag and
+  // WCET. Those two are computed as scalar patches.
+  const std::size_t succ = inserting ? (pos + 1) % tn : pos % tn;
+  const auto classify_at = [&](std::size_t k, unsigned char& w, double& e) {
+    const std::size_t app = seq_at(k);
+    w = seq_at((k + tn - 1) % tn) == app ? 1 : 0;
+    e = w ? wcets[app].warm_seconds : wcets[app].cold_seconds;
+  };
+  unsigned char ins_warm = 0;
+  double ins_exec = 0.0;
+  if (inserting) classify_at(pos, ins_warm, ins_exec);
+  unsigned char succ_warm;
+  double succ_exec;
+  classify_at(succ, succ_warm, succ_exec);
+  const std::size_t succ_base = [&] {  // base index the successor came from
+    if (inserting) return succ == 0 ? std::size_t{0} : pos;
+    return pos + 1 == t ? std::size_t{0} : pos + 1;
+  }();
+  const bool succ_patched = succ_warm != base.warm[succ_base] ||
+                            succ_exec != base.exec[succ_base];
+
+  const auto warm_at = [&](std::size_t k) -> unsigned char {
+    if (inserting && k == pos) return ins_warm;
+    if (succ_patched && k == succ) return succ_warm;
+    if (inserting) return base.warm[k < pos ? k : k - 1];
+    return base.warm[k < pos ? k : k + 1];
+  };
+  const auto exec_at = [&](std::size_t k) -> double {
+    if (inserting && k == pos) return ins_exec;
+    if (succ_patched && k == succ) return succ_exec;
+    if (inserting) return base.exec[k < pos ? k : k - 1];
+    return base.exec[k < pos ? k : k + 1];
+  };
+
+  // First start offset whose value can differ from the base pattern's.
+  const std::size_t dirty = succ_patched && succ < pos ? succ : pos;
+
+  // Reuse the clean start prefix verbatim; replay the accumulation
+  // recurrence (identical operation order to accumulate_starts) over the
+  // dirty tail so every start offset and the period are bit-identical to a
+  // from-scratch derivation.
+  std::vector<double> start(tn);
+  const std::size_t clean = dirty < tn ? dirty : tn;
+  for (std::size_t k = 0; k < clean; ++k) start[k] = base.start[k];
+  double period = dirty < t ? base.start[dirty] : base.period;
+  for (std::size_t k = dirty; k < tn; ++k) {
     start[k] = period;
-    period += exec[k];
+    period += exec_at(k);
   }
 
+  // Interval lists: every app except the moved one keeps its interval
+  // COUNT and (except at the patched successor) every tau/warm, and only h
+  // values with an endpoint in the dirty region can change bits — so its
+  // base list is copied wholesale and patched in place. The moved app's
+  // list is rebuilt (its size changed). One pass over the new sequence
+  // drives both, tracking per-app occurrence counts.
   ScheduleTiming out;
   out.period = period;
-  out.apps.resize(schedule.num_apps());
-  // Collect each app's task indices in order; sampling period = distance to
-  // the app's next task start (cyclic).
-  for (std::size_t app = 0; app < schedule.num_apps(); ++app) {
-    std::vector<std::size_t> own;
-    for (std::size_t k = 0; k < t_count; ++k) {
-      if (seq[k] == app) own.push_back(k);
+  out.apps.resize(num_apps);
+  if (app_unchanged != nullptr) app_unchanged->assign(num_apps, true);
+  const auto mark_changed = [&](std::size_t app) {
+    if (app_unchanged != nullptr) (*app_unchanged)[app] = false;
+  };
+  for (std::size_t app = 0; app < num_apps; ++app) {
+    if (app == moved_app) {
+      const std::size_t base_size = base.timing.apps[app].intervals.size();
+      out.apps[app].intervals.resize(inserting ? base_size + 1
+                                               : base_size - 1);
+      mark_changed(app);
+    } else {
+      out.apps[app].intervals = base.timing.apps[app].intervals;
     }
-    AppTiming& at = out.apps[app];
-    at.intervals.reserve(own.size());
-    for (std::size_t j = 0; j < own.size(); ++j) {
-      const std::size_t k = own[j];
-      Interval iv;
-      iv.tau = exec[k];
-      iv.warm = warm[k];
-      if (j + 1 < own.size()) {
-        iv.h = start[own[j + 1]] - start[k];
-      } else {
-        iv.h = period - start[k] + start[own[0]];
+  }
+
+  struct Tracker {
+    std::size_t cnt = 0;
+    std::size_t first = 0;
+    std::size_t last = 0;
+  };
+  std::vector<Tracker> track(num_apps);
+  const auto set_h = [&](std::size_t app, std::size_t j, double h) {
+    Interval& iv = out.apps[app].intervals[j];
+    if (iv.h != h) {
+      iv.h = h;
+      mark_changed(app);
+    }
+  };
+  for (std::size_t k = 0; k < tn; ++k) {
+    const std::size_t app = seq_at(k);
+    Tracker& tr = track[app];
+    if (tr.cnt == 0) {
+      tr.first = k;
+    } else if (k >= dirty || app == moved_app) {
+      // Interval cnt-1 of this app ends here; its h can only have changed
+      // bits if an endpoint start was re-accumulated (k >= dirty implies
+      // the earlier endpoint case too, since last < k).
+      set_h(app, tr.cnt - 1, start[k] - start[tr.last]);
+    }
+    if (app == moved_app || (succ_patched && k == succ) ||
+        (inserting && k == pos)) {
+      Interval& iv = out.apps[app].intervals[tr.cnt];
+      const double tau = exec_at(k);
+      const bool warm = warm_at(k) != 0;
+      if (iv.tau != tau || iv.warm != warm) {
+        iv.tau = tau;
+        iv.warm = warm;
+        mark_changed(app);
       }
-      at.intervals.push_back(iv);
     }
+    tr.last = k;
+    ++tr.cnt;
+  }
+  // Wrap interval of every app: its h reads the period, which an insert or
+  // remove always moves.
+  for (std::size_t app = 0; app < num_apps; ++app) {
+    const Tracker& tr = track[app];
+    set_h(app, tr.cnt - 1, period - start[tr.last] + start[tr.first]);
   }
   return out;
 }

@@ -25,6 +25,7 @@ struct Interval {
   double h = 0.0;    ///< sampling period of this task
   double tau = 0.0;  ///< sensing-to-actuation delay (= task WCET)
   bool warm = false; ///< true if this task runs on a reused (warm) cache
+  bool operator==(const Interval&) const = default;
 };
 
 /// All control intervals of one application across a schedule period, in
@@ -41,12 +42,16 @@ struct AppTiming {
   double period() const;
   /// Time not executing this app = period() - sum(tau).
   double idle_total() const;
+
+  bool operator==(const AppTiming&) const = default;
 };
 
 /// Timing of every application under one schedule.
 struct ScheduleTiming {
   std::vector<AppTiming> apps;
   double period = 0.0;  ///< schedule (hyper)period in seconds
+
+  bool operator==(const ScheduleTiming&) const = default;
 };
 
 /// Derive timing for a periodic schedule (m1..mn). Task j of app i is warm
@@ -61,6 +66,76 @@ ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
 /// cyclically-previous task belongs to the same application.
 ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
                              const InterleavedSchedule& schedule);
+
+/// Derive timing directly from a raw task sequence (one app index per
+/// task). derive_timing on a schedule equals derive_timing on
+/// schedule.task_sequence() bit-for-bit; this overload is the reference the
+/// incremental path (derive_timing_delta) is differentially tested against,
+/// since a moved task sequence need not start on a segment boundary.
+/// \throws std::invalid_argument on empty sequence, out-of-range app index,
+///         or an app in [0, num_apps) with no task.
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const std::vector<std::size_t>& seq,
+                             std::size_t num_apps);
+
+/// A single-task edit to a schedule's task sequence — the delta between an
+/// interleaved schedule and one of its insert/remove neighbors (growing or
+/// shrinking a burst, inserting a fresh segment, removing a singleton
+/// segment are all one-task edits at the sequence level).
+struct TaskMove {
+  enum class Kind { insert, remove };
+  Kind kind = Kind::insert;
+  /// insert: index in the NEW sequence where the task lands, in [0, T];
+  /// remove: index in the BASE sequence of the task to drop, in [0, T).
+  std::size_t pos = 0;
+  /// Application of the inserted task (ignored for remove).
+  std::size_t app = 0;
+};
+
+/// Expanded steady-state pattern of one schedule: the per-task arrays the
+/// timing derivation runs on, kept so a neighbor (one-task move) can be
+/// re-derived incrementally instead of from scratch. Built once per base
+/// schedule by expand_timing, consumed by derive_timing_delta.
+struct TimingPattern {
+  std::vector<std::size_t> seq;     ///< app index per task
+  std::vector<unsigned char> warm;  ///< steady-state warm classification
+  std::vector<double> exec;         ///< per-task WCET (warm or cold)
+  std::vector<double> start;        ///< task start offsets within the period
+  double period = 0.0;
+  ScheduleTiming timing;            ///< == derive_timing of the schedule
+};
+
+/// Expand a schedule into its per-task pattern plus derived timing.
+/// pattern.timing is bit-identical to derive_timing(wcets, schedule).
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const InterleavedSchedule& schedule);
+
+/// Same, from a raw task sequence (see the seq overload of derive_timing).
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const std::vector<std::size_t>& seq,
+                            std::size_t num_apps);
+
+/// Incremental re-derivation: timing of the schedule obtained by applying
+/// \p move to \p base, bit-identical to derive_timing on the moved task
+/// sequence (differentially gtest-enforced). Only the affected warm/cold
+/// classifications are re-derived and only start offsets at or after the
+/// move position are re-accumulated (the clean prefix is reused verbatim,
+/// which is what keeps the result bit-exact: the dirty tail is recomputed
+/// with the same operation sequence the from-scratch derivation uses).
+/// If \p app_unchanged is non-null it receives one flag per app: true iff
+/// that app's interval list is value-identical to the base schedule's (the
+/// evaluator uses this to reuse the app's design without re-quantizing).
+/// \throws std::invalid_argument on an out-of-range move, or a removal
+///         that would leave an app with no task.
+ScheduleTiming derive_timing_delta(const std::vector<AppWcet>& wcets,
+                                   const TimingPattern& base,
+                                   const TaskMove& move,
+                                   std::vector<bool>* app_unchanged = nullptr);
+
+/// Apply a task move to a sequence (the incremental path's notion of the
+/// moved schedule; helper for tests and move construction).
+std::vector<std::size_t> apply_move(const std::vector<std::size_t>& seq,
+                                    const TaskMove& move);
 
 /// Paper eq. (4): h_i^max <= tidle_i for every application.
 /// \throws std::invalid_argument if tidle size mismatches.

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/crpd.hpp"
 #include "cache/program.hpp"
@@ -153,5 +156,74 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CrpdCase{16, 1, 1}, CrpdCase{16, 2, 2},
                       CrpdCase{32, 1, 3}, CrpdCase{32, 4, 4},
                       CrpdCase{64, 2, 5}, CrpdCase{8, 1, 6}));
+
+/// Reference UCB implementation (the pre-incremental per-point rescan):
+/// at every program point, enumerate all lines with remaining uses and
+/// query residency. The shipped compute_ucb maintains the useful-resident
+/// set incrementally; this differential pins their equivalence.
+catsched::cache::UcbResult reference_ucb(const Program& program,
+                                         const CacheConfig& config) {
+  CacheSim sim(config);
+  const auto& trace = program.trace;
+  std::unordered_map<std::uint64_t, std::size_t> remaining;
+  for (const auto line : trace) ++remaining[line];
+
+  catsched::cache::UcbResult out;
+  out.per_point.reserve(trace.size());
+  const std::size_t sets = config.num_sets();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sim.access(trace[i]);
+    --remaining[trace[i]];
+    std::size_t useful = 0;
+    std::set<std::size_t> point_sets;
+    for (const auto& [line, uses] : remaining) {
+      if (uses == 0) continue;
+      if (sim.contains(line)) {
+        ++useful;
+        point_sets.insert(static_cast<std::size_t>(line % sets));
+      }
+    }
+    out.per_point.push_back(useful);
+    if (useful >= out.max_useful) out.max_useful = useful;
+    out.useful_sets.insert(point_sets.begin(), point_sets.end());
+  }
+  return out;
+}
+
+struct UcbDiffCase {
+  std::size_t lines;
+  std::size_t assoc;  // 0 = fully associative
+  std::size_t address_space;
+  std::uint32_t seed;
+};
+
+class UcbDifferentialSweep : public ::testing::TestWithParam<UcbDiffCase> {};
+
+TEST_P(UcbDifferentialSweep, IncrementalMatchesReferenceOnRandomTraces) {
+  const auto pc = GetParam();
+  const CacheConfig c = cfg(pc.lines, pc.assoc);
+  std::mt19937 rng(pc.seed);
+  std::uniform_int_distribution<std::uint64_t> addr(0, pc.address_space - 1);
+  std::uniform_int_distribution<std::size_t> len(1, 400);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    Program p;
+    p.name = "random";
+    p.trace.resize(len(rng));
+    for (auto& line : p.trace) line = addr(rng);
+
+    const auto got = compute_ucb(p, c);
+    const auto want = reference_ucb(p, c);
+    ASSERT_EQ(got.max_useful, want.max_useful) << "trial " << trial;
+    ASSERT_EQ(got.per_point, want.per_point) << "trial " << trial;
+    ASSERT_EQ(got.useful_sets, want.useful_sets) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, UcbDifferentialSweep,
+    ::testing::Values(UcbDiffCase{16, 1, 24, 11}, UcbDiffCase{16, 2, 64, 12},
+                      UcbDiffCase{32, 4, 48, 13}, UcbDiffCase{8, 0, 12, 14},
+                      UcbDiffCase{8, 1, 8, 15}, UcbDiffCase{64, 2, 300, 16}));
 
 }  // namespace
