@@ -181,6 +181,26 @@ void AbstractCacheState::join(const AbstractCacheState& other) {
   }
 }
 
+void AbstractCacheState::age_set(std::size_t set_index, std::uint32_t amount) {
+  if (set_index >= sets_) {
+    throw std::out_of_range("AbstractCacheState::age_set: set out of range");
+  }
+  if (amount == 0) return;
+  LineAgeSet& set = sets_state_[set_index];
+  const std::uint32_t ways = static_cast<std::uint32_t>(ways_);
+  // One compaction pass (same shape as access()): advance every bound,
+  // drop entries that reach the associativity. Entries stay sorted by line
+  // (ages change uniformly), so no re-sort is needed.
+  LineAge* out = set.begin();
+  for (LineAge* it = set.begin(); it != set.end(); ++it) {
+    LineAge e = *it;
+    if (amount >= ways || e.age + amount >= ways) continue;  // evicted
+    e.age += amount;
+    *out++ = e;
+  }
+  set.truncate(static_cast<std::size_t>(out - set.begin()));
+}
+
 std::size_t AbstractCacheState::tracked_lines() const noexcept {
   std::size_t n = 0;
   for (const LineAgeSet& set : sets_state_) n += set.size();

@@ -120,6 +120,18 @@ public:
   /// \throws std::invalid_argument on kind/config mismatch.
   void join(const AbstractCacheState& other);
 
+  /// Age every tracked line of one set by \p amount, dropping lines whose
+  /// bound reaches the associativity. This is the interference transfer
+  /// function of the schedule-dependent WCET derivation (cache/
+  /// schedule_wcet): under LRU, `d` distinct conflicting lines inserted by
+  /// other programs age a surviving line by at most `d`, so aging a MUST
+  /// state by an upper bound on the interfering distinct-line count per set
+  /// keeps it a sound under-approximation. For a MAY state the caller must
+  /// instead guarantee \p amount is a lower bound on the interference
+  /// (aging a may line discards "possibly cached" facts).
+  /// \throws std::out_of_range if set_index is not a valid set.
+  void age_set(std::size_t set_index, std::uint32_t amount);
+
   /// Number of tracked lines over all sets.
   std::size_t tracked_lines() const noexcept;
 
@@ -179,6 +191,15 @@ public:
   Classification classify_and_access(std::uint64_t line);
 
   void join(const CachePair& other);
+
+  /// Interference transfer for the schedule-dependent entry derivation:
+  /// age one set of the MUST state (see AbstractCacheState::age_set). The
+  /// may state is deliberately untouched — interference never inserts this
+  /// program's lines, so the "possibly cached" superset stays sound, and
+  /// only the must side feeds the cycle bound.
+  void age_must_set(std::size_t set_index, std::uint32_t amount) {
+    must_.age_set(set_index, amount);
+  }
 
   const AbstractCacheState& must() const noexcept { return must_; }
   const AbstractCacheState& may() const noexcept { return may_; }

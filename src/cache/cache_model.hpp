@@ -36,6 +36,15 @@ struct CacheConfig {
   /// Seconds per clock cycle.
   double cycle_seconds() const noexcept { return 1.0 / clock_hz; }
 
+  /// THE set-mapping function of this cache: which set a line address
+  /// falls into. CacheSim and AbstractCacheState keep private mask-based
+  /// fast paths that must compute exactly this (differentially tested);
+  /// everything without a hot loop (footprints in cache/schedule_wcet,
+  /// CRPD set scans) should call this instead of re-deriving the formula.
+  std::size_t set_of(std::uint64_t line) const noexcept {
+    return static_cast<std::size_t>(line % num_sets());
+  }
+
   bool operator==(const CacheConfig&) const = default;
 };
 

@@ -1,0 +1,165 @@
+#pragma once
+/// \file schedule_wcet.hpp
+/// \brief Schedule-dependent WCET analysis: context-sensitive bounds for
+///        the first task of a burst, given WHICH applications ran since the
+///        app's previous burst (partial cache survival between non-adjacent
+///        bursts). The paper's timing model is the binary special case:
+///        mask 0 is the guaranteed-warm bound, "everything interfered" is
+///        the cold bound; real schedules live strictly in between.
+///
+/// Derivation per (app, interference mask):
+///   1. take the app's generic exit state (cache/static_wcet's
+///      StaticSteadyWcet: the must/may join over every per-run exit — sound
+///      for a burst of any length);
+///   2. age its must state through the interfering programs' union cache
+///      footprint (per set, `d` distinct conflicting lines age a surviving
+///      LRU line by at most `d` — the CRPD evicting-cache-block argument,
+///      see cache/crpd); the may state is left untouched (interference
+///      never inserts this app's lines, so "possibly cached" can only
+///      shrink concretely — keeping the superset is sound, and may only
+///      affects AM/NC reporting, never the cycle bound);
+///   3. re-analyze the program from that entry state through the existing
+///      analyze_static_wcet(program, entry, memo) path — the shared
+///      per-app StaticAnalysisMemo turns repeated contexts into lookups.
+///
+/// Soundness contract (gtest-enforced, randomized + differential):
+///   warm <= context(mask) <= cold for every mask, and no concrete CacheSim
+///   replay of the same interference sequence ever exceeds the bound.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/program.hpp"
+#include "cache/static_wcet.hpp"
+#include "cache/structure.hpp"
+#include "sched/timing.hpp"
+
+namespace catsched::cache {
+
+/// Per-set distinct-line footprint of one program: every line ANY path may
+/// fetch, bucketed by cache set (the program's evicting cache blocks in
+/// CRPD terms, kept per set with the line identities so unions of several
+/// interferers do not double-count shared sets).
+struct CacheFootprint {
+  /// One sorted, deduplicated line vector per cache set.
+  std::vector<std::vector<std::uint64_t>> lines_per_set;
+
+  std::size_t total_lines() const noexcept;
+};
+
+/// Footprint of a concrete worst-case-path trace.
+CacheFootprint compute_footprint(const Program& program,
+                                 const CacheConfig& config);
+/// Footprint of a structured program: every line in the tree (all branch
+/// arms), an upper bound on what any path fetches.
+CacheFootprint compute_footprint(const Stmt& root, const CacheConfig& config);
+
+/// In-place union (same config assumed): after the call, \p into covers
+/// every line either footprint covers.
+void merge_footprint(CacheFootprint& into, const CacheFootprint& other);
+
+/// Entry-state derivation: age \p state's must component through the
+/// interference \p footprint — per set, by the number of distinct
+/// interfering lines (an upper bound on how much LRU aging the interferers
+/// can inflict on a surviving line). The may component is left unchanged
+/// (see the file header).
+void age_through_interference(CachePair& state,
+                              const CacheFootprint& footprint);
+
+/// One context-sensitive bound.
+struct ContextWcet {
+  StaticWcetResult analysis;  ///< re-analysis from the derived entry state
+  std::uint64_t cycles = 0;   ///< bound clamped into [warm, cold]
+  double seconds = 0.0;       ///< cycles in seconds
+  /// True iff the raw analysis already satisfied warm <= raw <= cold (it
+  /// always should, by must-domain monotonicity; the clamp is a defensive
+  /// soundness floor/ceiling and the invariant suite asserts this flag).
+  bool naturally_ordered = false;
+};
+
+/// The schedule-dependent WCET engine for one application set on one
+/// shared cache. Thread-safe and lazily memoized: analyze_context computes
+/// each (app, mask) bound exactly once — concurrent searches observe
+/// bit-identical values — and repeated loop fixpoints across contexts of
+/// one app resolve through a shared StaticAnalysisMemo. Locking is per
+/// app (shared_mutex: memoized lookups take the shared side and proceed
+/// concurrently; only a first-time analysis of the SAME app serializes),
+/// so the parallel searches' hot path — pure memo hits — never contends
+/// across apps. Implements sched::ContextWcetLookup, so it plugs straight
+/// into the context-sensitive derive_timing/expand_timing overloads.
+class ScheduleWcetAnalyzer final : public sched::ContextWcetLookup {
+public:
+  /// \throws std::invalid_argument if \p programs is empty or num_apps
+  ///         exceeds 64 (interference-mask width); std::runtime_error if
+  ///         any program has no steady warm state.
+  ScheduleWcetAnalyzer(std::vector<StructuredProgram> programs,
+                       const CacheConfig& config);
+
+  /// Lift concrete worst-case-path traces (core::SystemModel's program
+  /// images) into single-block structured programs. The analysis of a
+  /// single path is exact, so cold/warm agree with the simulator's
+  /// analyze_wcet (gtest-enforced).
+  static std::unique_ptr<ScheduleWcetAnalyzer> from_traces(
+      const std::vector<Program>& programs, const CacheConfig& config);
+
+  std::size_t num_apps() const noexcept { return apps_.size(); }
+  const CacheConfig& config() const noexcept { return config_; }
+
+  /// Cold/steady-warm analysis of one app (mask-independent base).
+  const StaticSteadyWcet& base(std::size_t app) const;
+  /// Union footprint the app inflicts on others.
+  const CacheFootprint& footprint(std::size_t app) const;
+
+  /// Scheduler-facing cold/warm pairs (seconds), ordered like the apps.
+  std::vector<sched::AppWcet> app_wcets() const;
+
+  /// The context-sensitive bound for (app, mask); bits of \p mask select
+  /// interfering apps (the app's own bit is ignored). mask 0 returns the
+  /// guaranteed-warm bound. Computed once, then a lookup.
+  /// \throws std::out_of_range on a bad app index.
+  const ContextWcet& analyze_context(std::size_t app,
+                                     std::uint64_t mask) const;
+
+  /// sched::ContextWcetLookup: analyze_context(app, mask).seconds.
+  double context_wcet_seconds(std::size_t app,
+                              std::uint64_t mask) const override;
+
+  /// Materialize every mask over \p num_apps interferers into a plain
+  /// table (2^(n-1) analyses per app: small systems only).
+  /// \throws std::invalid_argument if num_apps() > 12.
+  sched::ContextWcetTable full_table() const;
+
+  /// Lazy-memoization counters (requests vs. analyses actually run), for
+  /// the benches' hit-rate reporting.
+  struct Stats {
+    std::uint64_t context_requests = 0;
+    std::uint64_t context_analyses = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct AppState {
+    StructuredProgram program;
+    StaticSteadyWcet steady;
+    CacheFootprint footprint;
+    StaticAnalysisMemo memo;  ///< shared across this app's contexts
+    std::unordered_map<std::uint64_t, ContextWcet> contexts;
+    /// Guards memo + contexts (shared = lookup, exclusive = compute).
+    mutable std::shared_mutex mu;
+  };
+
+  const ContextWcet& compute_context_locked(AppState& st,
+                                            std::uint64_t mask) const;
+
+  CacheConfig config_;
+  /// unique_ptr elements: AppState holds a (non-movable) shared_mutex.
+  std::vector<std::unique_ptr<AppState>> apps_;
+  mutable std::atomic<std::uint64_t> context_requests_{0};
+  mutable std::atomic<std::uint64_t> context_analyses_{0};
+};
+
+}  // namespace catsched::cache

@@ -162,6 +162,40 @@ StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
   return out;
 }
 
+StaticSteadyWcet analyze_static_steady_wcet(const StructuredProgram& program,
+                                            const CacheConfig& config,
+                                            StaticAnalysisMemo* memo,
+                                            int max_iterations) {
+  StaticSteadyWcet out;
+  out.cold = analyze_static_wcet(program, config, std::nullopt, memo);
+  out.generic_exit = out.cold.exit_state;
+  CachePair entry = out.cold.exit_state;
+  bool steady = false;
+  for (int it = 0; it < max_iterations; ++it) {
+    const StaticWcetResult pass =
+        analyze_static_wcet(program, config, entry, memo);
+    out.warm_iterations = it + 1;
+    out.generic_exit.join(pass.exit_state);
+    // The warm bound must cover EVERY run >= 2 of a burst, whose entry is
+    // only guaranteed to refine the cold exit — so keep the WORST pass of
+    // the chain, not the fixpoint pass. Entries grow monotonically along
+    // the chain (entry_{i+1} = F(entry_i) >= entry_i since entry_1 =
+    // F(bottom)), so per-pass bounds are non-increasing and the max is the
+    // first pass; taking the running max stays sound regardless.
+    if (it == 0 || pass.wcet_cycles > out.warm.wcet_cycles) out.warm = pass;
+    if (pass.exit_state == entry) {
+      steady = true;
+      break;
+    }
+    entry = pass.exit_state;
+  }
+  if (!steady) {
+    throw std::runtime_error(
+        "analyze_static_steady_wcet: warm exit state did not stabilize");
+  }
+  return out;
+}
+
 sched::AppWcet to_app_wcet(const StaticAppWcet& analysis,
                            const CacheConfig& config) {
   sched::AppWcet w;

@@ -138,4 +138,38 @@ StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
 sched::AppWcet to_app_wcet(const StaticAppWcet& analysis,
                            const CacheConfig& config);
 
+/// Cold analysis plus the warm analysis iterated to its exit-state
+/// fixpoint: the warm bound then holds for steady re-execution (mirroring
+/// analyze_wcet's `steady` contract on the simulator side), and
+/// `generic_exit` — the join over every per-run exit state in the chain —
+/// is a sound abstract cache for "this application just finished a burst
+/// of ANY length", the state the schedule-dependent entry derivation
+/// (cache/schedule_wcet) ages through interfering programs.
+struct StaticSteadyWcet {
+  StaticWcetResult cold;
+  /// Warm-re-execution bound: the WORST pass of the warm chain, sound for
+  /// the 2nd-and-later runs of any burst (their entries only refine the
+  /// cold exit, and per-pass bounds are non-increasing along the chain —
+  /// for single-path programs the chain stabilizes in one pass and this
+  /// equals the simulator's steady warm value).
+  StaticWcetResult warm;
+  CachePair generic_exit;  ///< join of cold + every warm exit state
+  int warm_iterations = 0; ///< warm passes until the exit state stabilized
+
+  std::uint64_t reduction_cycles() const noexcept {
+    return cold.wcet_cycles - warm.wcet_cycles;
+  }
+};
+
+/// Iterate warm re-analyses from the cold exit until the exit state maps to
+/// itself (a finite-domain fixpoint; typically 1-2 passes). All passes
+/// share \p memo, so later passes mostly replay memoized subtrees.
+/// \throws std::runtime_error if the exit chain does not stabilize within
+///         \p max_iterations (the analysis-side analogue of analyze_wcet's
+///         "no steady warm state").
+StaticSteadyWcet analyze_static_steady_wcet(const StructuredProgram& program,
+                                            const CacheConfig& config,
+                                            StaticAnalysisMemo* memo = nullptr,
+                                            int max_iterations = 64);
+
 }  // namespace catsched::cache

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "cache/schedule_wcet.hpp"
+
 namespace catsched::core {
 
 namespace {
@@ -41,19 +43,65 @@ std::vector<std::int64_t> quantize_intervals(
 }
 
 Evaluator::Evaluator(SystemModel model, control::DesignOptions design_opts,
-                     ThreadPool* pool)
+                     ThreadPool* pool, EvaluatorOptions opts)
     : model_(std::move(model)), design_opts_(design_opts), pool_(pool) {
   model_.validate();
-  wcets_ = model_.analyze_wcets();
+  if (opts.context_wcets) {
+    // The analyzer's static cold/warm base replaces the simulator-derived
+    // pair so every bound in the evaluator comes from one sound analysis
+    // (they agree bit-for-bit on trace programs; gtest-enforced).
+    context_ = model_.make_context_analyzer();
+    wcets_ = context_->app_wcets();
+  } else {
+    wcets_ = model_.analyze_wcets();
+  }
   tidle_ = model_.tidle_vector();
 }
 
+Evaluator::~Evaluator() = default;
+
+sched::ScheduleTiming Evaluator::derive(
+    const sched::InterleavedSchedule& s) const {
+  return context_ ? sched::derive_timing(wcets_, *context_, s)
+                  : sched::derive_timing(wcets_, s);
+}
+
+sched::TimingPattern Evaluator::expand(
+    const sched::InterleavedSchedule& s) const {
+  return context_ ? sched::expand_timing(wcets_, *context_, s)
+                  : sched::expand_timing(wcets_, s);
+}
+
+sched::ScheduleTiming Evaluator::derive_neighbor_timing(
+    const sched::TimingPattern& base, const sched::TaskMove& move,
+    std::vector<bool>* app_unchanged) const {
+  if (!context_) {
+    return sched::derive_timing_delta(wcets_, base, move, app_unchanged);
+  }
+  // Context mode: a one-task move can flip interference masks of tasks far
+  // from the edit (the burst-opening task of every app whose gap the move
+  // lands in), so the moved sequence is re-derived from scratch and the
+  // reuse flags are recovered by comparison — the same contract the delta
+  // path's app_unchanged carries.
+  const std::size_t num_apps = base.timing.apps.size();
+  sched::ScheduleTiming timing = sched::derive_timing(
+      wcets_, *context_, sched::apply_move(base.seq, move), num_apps);
+  if (app_unchanged != nullptr) {
+    app_unchanged->resize(num_apps);
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      (*app_unchanged)[i] =
+          timing.apps[i].intervals == base.timing.apps[i].intervals;
+    }
+  }
+  return timing;
+}
+
 bool Evaluator::idle_feasible(const sched::PeriodicSchedule& s) const {
-  return sched::idle_feasible(sched::derive_timing(wcets_, s), tidle_);
+  return idle_feasible(sched::InterleavedSchedule::from_periodic(s));
 }
 
 bool Evaluator::idle_feasible(const sched::InterleavedSchedule& s) const {
-  return sched::idle_feasible(sched::derive_timing(wcets_, s), tidle_);
+  return sched::idle_feasible(derive(s), tidle_);
 }
 
 bool Evaluator::idle_feasible(const sched::ScheduleTiming& timing) const {
@@ -118,7 +166,7 @@ ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s,
       base_hint.timing.apps.size() != napps) {
     return evaluate(s);  // unusable hint (e.g. default-constructed)
   }
-  sched::ScheduleTiming timing = sched::derive_timing(wcets_, s);
+  sched::ScheduleTiming timing = derive(s);
   std::vector<bool> unchanged(napps);
   for (std::size_t i = 0; i < napps; ++i) {
     unchanged[i] =
@@ -154,7 +202,7 @@ void Evaluator::reduce_apps(ScheduleEvaluation& out,
 
 ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
   ScheduleEvaluation out;
-  out.timing = sched::derive_timing(wcets_, s);
+  out.timing = derive(s);
   out.idle_feasible = sched::idle_feasible(out.timing, tidle_);
   const std::size_t napps = model_.num_apps();
   // Batched per-app designs: every app of this schedule lands in its own
@@ -180,8 +228,7 @@ ScheduleEvaluation Evaluator::evaluate(const sched::InterleavedSchedule& s) {
 
 const sched::TimingPattern& Evaluator::timing_pattern(
     const sched::InterleavedSchedule& s, const std::string& key) {
-  return pattern_memo_.get_or_compute(
-      key, [&] { return sched::expand_timing(wcets_, s); });
+  return pattern_memo_.get_or_compute(key, [&] { return expand(s); });
 }
 
 ScheduleEvaluation Evaluator::evaluate_neighbor_from_timing(
@@ -230,7 +277,7 @@ ScheduleEvaluation Evaluator::evaluate_neighbor(
     const ScheduleEvaluation& base_eval, const sched::TaskMove& move) {
   std::vector<bool> unchanged;
   sched::ScheduleTiming timing =
-      sched::derive_timing_delta(wcets_, base_pattern, move, &unchanged);
+      derive_neighbor_timing(base_pattern, move, &unchanged);
   return evaluate_neighbor_from_timing(base_eval, std::move(timing),
                                        unchanged);
 }

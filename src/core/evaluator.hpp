@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -25,6 +26,18 @@ namespace catsched::core {
 ///         be undefined behavior, so they are rejected before keying.
 std::vector<std::int64_t> quantize_intervals(
     const std::vector<sched::Interval>& intervals);
+
+/// Evaluator behavior knobs (beyond the design options).
+struct EvaluatorOptions {
+  /// Schedule-dependent WCETs: burst-opening tasks are bounded per
+  /// interference context (which apps ran since this app's previous task,
+  /// via cache::ScheduleWcetAnalyzer) instead of the binary cold bound.
+  /// Context bounds are sound and sit in [warm, cold], so they can only
+  /// shorten periods — schedules the cold/warm pair rejects on idle time
+  /// can become feasible. Off (the default) keeps the paper's binary
+  /// model and the PR 4 incremental delta path bit-identically.
+  bool context_wcets = false;
+};
 
 /// Per-application outcome inside one schedule evaluation.
 struct AppEvaluation {
@@ -71,7 +84,11 @@ public:
   /// tests/test_design_batch.cpp).
   /// \throws whatever SystemModel::validate/analyze_wcets throw.
   Evaluator(SystemModel model, control::DesignOptions design_opts = {},
-            ThreadPool* pool = nullptr);
+            ThreadPool* pool = nullptr, EvaluatorOptions opts = {});
+
+  /// Out of line: the context analyzer is only forward-declared here (see
+  /// system_model.hpp), so the unique_ptr must be destroyed in the .cpp.
+  ~Evaluator();
 
   /// The batching pool this evaluator was constructed with (nullptr =
   /// serial designs). The pool must outlive the evaluator's evaluate calls.
@@ -79,6 +96,14 @@ public:
 
   const SystemModel& model() const noexcept { return model_; }
   const std::vector<sched::AppWcet>& wcets() const noexcept { return wcets_; }
+
+  /// True when schedule-dependent WCETs are active (EvaluatorOptions).
+  bool context_wcets() const noexcept { return context_ != nullptr; }
+  /// The lazy context analyzer (nullptr when contexts are off); exposed
+  /// for the benches' per-context stats and memo hit rates.
+  const cache::ScheduleWcetAnalyzer* context_analyzer() const noexcept {
+    return context_.get();
+  }
 
   /// Cheap feasibility: idle-time constraint only (paper eq. (4)).
   bool idle_feasible(const sched::PeriodicSchedule& s) const;
@@ -113,6 +138,19 @@ public:
   /// lifetime.
   const sched::TimingPattern& timing_pattern(
       const sched::InterleavedSchedule& s, const std::string& key);
+
+  /// Timing of the one-task-move neighbor of \p base, in whichever WCET
+  /// mode this evaluator runs: binary mode takes the incremental
+  /// derive_timing_delta path verbatim; context mode re-derives the moved
+  /// sequence from scratch (a move can change interference masks far from
+  /// the edit) and recovers \p app_unchanged by comparing interval lists
+  /// against the base pattern — same flags, same downstream reuse. The
+  /// searches call this instead of derive_timing_delta so both modes flow
+  /// through one pre-filter path.
+  /// \throws std::invalid_argument like derive_timing_delta.
+  sched::ScheduleTiming derive_neighbor_timing(
+      const sched::TimingPattern& base, const sched::TaskMove& move,
+      std::vector<bool>* app_unchanged) const;
 
   /// Delta-aware evaluation of the one-task-move neighbor of a base
   /// schedule: derives timing incrementally from \p base_pattern and reuses
@@ -182,6 +220,9 @@ private:
   /// The serial Pall reduction shared by evaluate() and the neighbor path
   /// (one code path = bit-identical sums).
   void reduce_apps(ScheduleEvaluation& out, std::vector<AppEvaluation>& evs);
+  /// Mode dispatch: binary or context-sensitive timing derivation.
+  sched::ScheduleTiming derive(const sched::InterleavedSchedule& s) const;
+  sched::TimingPattern expand(const sched::InterleavedSchedule& s) const;
   ScheduleEvaluation evaluate_neighbor_from_timing(
       const ScheduleEvaluation& base_eval, sched::ScheduleTiming&& timing,
       const std::vector<bool>& app_unchanged);
@@ -191,6 +232,10 @@ private:
   SystemModel model_;
   control::DesignOptions design_opts_;
   ThreadPool* pool_ = nullptr;
+  /// Schedule-dependent WCET engine (EvaluatorOptions::context_wcets);
+  /// nullptr in binary mode. Thread-safe and compute-once internally, so
+  /// the parallel searches stay bit-identical to serial runs.
+  std::unique_ptr<cache::ScheduleWcetAnalyzer> context_;
   std::vector<sched::AppWcet> wcets_;
   std::vector<double> tidle_;  ///< per-app idle-time limits (fixed by model)
   ConcurrentMemoMap<MemoKey, AppEvaluation, IndexedVectorHash> memo_;

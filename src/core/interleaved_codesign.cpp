@@ -3,6 +3,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -176,9 +177,18 @@ InterleavedSearchResult interleaved_search(
         key, [&] { return &evaluator.evaluate_cached(s, key); });
   };
 
+  // Schedules already evaluated in earlier steps, keyed by canonical
+  // string: neighborhoods of consecutive steps overlap heavily, and a
+  // re-visited neighbor needs no timing derivation at all — only the
+  // finished evaluation for the reduction. Mutated ONLY between batches
+  // (serial), read-only inside them, so the batch needs no locks; values
+  // point into the evaluator's schedule memo (valid for its lifetime).
+  std::unordered_map<std::string, const ScheduleEvaluation*> seen;
+
   InterleavedSchedule current = start;
   std::string current_key = current.to_string();
   ScheduleEvaluation current_eval = evaluate(current);
+  seen.emplace(current_key, &evaluator.evaluate_cached(current, current_key));
   res.path.push_back(current_key);
   if (current_eval.feasible()) {
     res.best = current;
@@ -188,71 +198,73 @@ InterleavedSearchResult interleaved_search(
 
   for (int step = 0; step < opts.max_steps; ++step) {
     auto neighbors = interleaved_neighbor_moves(current, opts);
-    // Idle pre-filter (cheap, serial): delta-representable neighbors derive
-    // their timing incrementally from the current pattern — one partial
-    // re-derivation instead of the from-scratch derive_timing — and carry
-    // the result into the evaluation batch below so it is not re-derived.
     const sched::TimingPattern* pattern =
         opts.incremental ? &evaluator.timing_pattern(current, current_key)
                          : nullptr;
-    struct Kept {
-      InterleavedSchedule schedule;
-      sched::ScheduleTiming timing;      // delta-derived (incremental only)
-      std::vector<bool> app_unchanged;   // vs. the current schedule
-      bool delta = false;
-    };
-    std::vector<Kept> kept;
-    kept.reserve(neighbors.size());
-    std::vector<bool> unchanged;
-    for (auto& cand : neighbors) {
-      if (pattern != nullptr && cand.move) {
-        sched::ScheduleTiming timing = sched::derive_timing_delta(
-            evaluator.wcets(), *pattern, *cand.move, &unchanged);
-        if (!evaluator.idle_feasible(timing)) continue;
-        kept.push_back(Kept{std::move(cand.schedule), std::move(timing),
-                            unchanged, true});
-      } else {
-        if (!evaluator.idle_feasible(cand.schedule)) continue;
-        kept.push_back(Kept{std::move(cand.schedule), {}, {}, false});
+    // Steepest ascent: derive each neighbor's timing, idle pre-filter it,
+    // and evaluate the survivors, all inside one batch fanned over the
+    // pool into index-addressed slots (idle-infeasible neighbors leave
+    // their slot null and never touch the schedule memo). In incremental
+    // mode delta-representable neighbors derive through the evaluator's
+    // mode dispatch — the partial delta re-derivation under binary WCETs,
+    // a from-scratch context-sensitive derivation under context WCETs —
+    // and carry the result into the evaluation so it is not re-derived.
+    // Memo hits return instantly, misses run the delta completion or the
+    // full WCET + design pipeline — high variance, hence the small
+    // chunks. The reduction below walks the slots serially in neighbor
+    // order, so the chosen move — and with it the whole accepted path —
+    // is bit-identical to the serial run AND to the from-scratch
+    // (incremental=false) run.
+    std::vector<const ScheduleEvaluation*> evals(neighbors.size(), nullptr);
+    std::vector<std::string> keys(neighbors.size());
+    parallel_for(pool, neighbors.size(), opts.chunk, [&](std::size_t k) {
+      InterleavedNeighbor& cand = neighbors[k];
+      const std::string& key = keys[k] = cand.schedule.to_string();
+      // Step-overlap shortcut: a neighbor evaluated in an earlier step
+      // skips derivation and idle-filtering entirely (the reduction only
+      // consults eval.feasible(); idle-infeasible schedules never made it
+      // into `seen`, so they re-derive and re-filter — same outcome).
+      if (const auto it = seen.find(key); it != seen.end()) {
+        evals[k] = it->second;
+        return;
       }
-    }
-    // Steepest ascent: evaluate every feasible neighbor, take the best.
-    // The batch fans out over the pool into index-addressed slots (memo
-    // hits return instantly, misses run the delta completion or the full
-    // WCET + design pipeline — high variance, hence the small chunks); the
-    // reduction below walks the slots serially in neighbor order, so the
-    // chosen move — and with it the whole accepted path — is bit-identical
-    // to the serial run AND to the from-scratch (incremental=false) run.
-    std::vector<const ScheduleEvaluation*> evals(kept.size(), nullptr);
-    parallel_for(pool, kept.size(), opts.chunk, [&](std::size_t k) {
-      Kept& c = kept[k];
-      if (!c.delta) {
-        if (pattern == nullptr) {
-          evals[k] = &evaluate(c.schedule);
-          return;
-        }
-        // Swap fallback (incremental mode): full timing derivation, but
-        // apps whose patterns survive the swap reuse the current
-        // evaluations (bit-identical to the plain path for any hint).
-        const std::string key = c.schedule.to_string();
+      if (pattern != nullptr && cand.move) {
+        std::vector<bool> unchanged;
+        sched::ScheduleTiming timing = evaluator.derive_neighbor_timing(
+            *pattern, *cand.move, &unchanged);
+        if (!evaluator.idle_feasible(timing)) return;
         evals[k] = memo.get_or_compute(key, [&] {
-          return &evaluator.evaluate_cached(c.schedule, key, current_eval);
+          return &evaluator.evaluate_neighbor_cached(
+              current_eval, std::move(timing), unchanged, key);
         });
         return;
       }
-      const std::string key = c.schedule.to_string();
+      if (!evaluator.idle_feasible(cand.schedule)) return;
+      if (pattern == nullptr) {
+        evals[k] = memo.get_or_compute(
+            key, [&] { return &evaluator.evaluate_cached(cand.schedule, key); });
+        return;
+      }
+      // Swap fallback (incremental mode): full timing derivation, but
+      // apps whose patterns survive the swap reuse the current
+      // evaluations (bit-identical to the plain path for any hint).
       evals[k] = memo.get_or_compute(key, [&] {
-        return &evaluator.evaluate_neighbor_cached(
-            current_eval, std::move(c.timing), c.app_unchanged, key);
+        return &evaluator.evaluate_cached(cand.schedule, key, current_eval);
       });
     });
+    // Serial (between batches): publish this step's evaluations for the
+    // next step's shortcut.
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (evals[k] != nullptr) seen.emplace(std::move(keys[k]), evals[k]);
+    }
     const InterleavedSchedule* next = nullptr;
     ScheduleEvaluation next_eval;
-    for (std::size_t k = 0; k < kept.size(); ++k) {
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (evals[k] == nullptr) continue;  // idle-infeasible
       const ScheduleEvaluation& eval = *evals[k];
       if (!eval.feasible()) continue;
       if (next == nullptr || eval.pall > next_eval.pall) {
-        next = &kept[k].schedule;
+        next = &neighbors[k].schedule;
         next_eval = eval;
       }
     }

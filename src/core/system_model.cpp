@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cache/schedule_wcet.hpp"
+
 namespace catsched::core {
 
 void SystemModel::validate() const {
@@ -38,6 +40,18 @@ std::vector<sched::AppWcet> SystemModel::analyze_wcets() const {
     out.push_back(sched::AppWcet{w.cold_seconds, w.warm_seconds});
   }
   return out;
+}
+
+std::unique_ptr<cache::ScheduleWcetAnalyzer>
+SystemModel::make_context_analyzer() const {
+  std::vector<cache::Program> programs;
+  programs.reserve(apps.size());
+  for (const Application& a : apps) programs.push_back(a.program);
+  return cache::ScheduleWcetAnalyzer::from_traces(programs, cache_config);
+}
+
+sched::ContextWcetTable SystemModel::analyze_context_wcets() const {
+  return make_context_analyzer()->full_table();
 }
 
 std::vector<double> SystemModel::tidle_vector() const {

@@ -3,6 +3,7 @@
 /// \brief The co-design problem instance: n control applications sharing
 ///        one processor with an instruction cache (paper Sec. II).
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,14 @@
 #include "cache/wcet.hpp"
 #include "control/design.hpp"
 #include "sched/timing.hpp"
+
+namespace catsched::cache {
+// The schedule-dependent WCET engine (cache/schedule_wcet.hpp) is only
+// named through pointers here; including its header (shared_mutex, the
+// static-analysis stack) in every TU that sees the system model would be
+// pure build weight.
+class ScheduleWcetAnalyzer;
+}  // namespace catsched::cache
 
 namespace catsched::core {
 
@@ -44,6 +53,19 @@ struct SystemModel {
   /// on the shared cache. \throws std::runtime_error if any program does
   /// not reach a steady warm state (its guaranteed reuse would be unsound).
   std::vector<sched::AppWcet> analyze_wcets() const;
+
+  /// Build the schedule-dependent WCET engine for the shared cache: lazy,
+  /// memoized per-(app, interference-mask) bounds sitting strictly between
+  /// the guaranteed-warm and cold extremes. Its cold/warm base agrees with
+  /// analyze_wcets() bit-for-bit on these trace programs (the single-path
+  /// static analysis is exact; gtest-enforced).
+  /// \throws std::runtime_error like analyze_wcets on a non-steady program.
+  std::unique_ptr<cache::ScheduleWcetAnalyzer> make_context_analyzer() const;
+
+  /// The fully materialized per-context WCET table alongside the cold/warm
+  /// pair — every interference mask of every app, eagerly analyzed (small
+  /// systems; the lazy analyzer above serves large ones).
+  sched::ContextWcetTable analyze_context_wcets() const;
 
   /// Table II-style constraint vectors.
   std::vector<double> tidle_vector() const;

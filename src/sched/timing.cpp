@@ -85,6 +85,37 @@ ScheduleTiming build_intervals(std::size_t num_apps,
   return out;
 }
 
+/// Context-sensitive classification: warm tasks keep the warm bound,
+/// burst-opening tasks get their bound from the lookup, validated into
+/// [warm, cold] so an out-of-contract lookup cannot smuggle an unsound
+/// (or ordering-breaking) execution time into the schedule.
+void classify_sequence_contexts(const std::vector<AppWcet>& wcets,
+                                const ContextWcetLookup& contexts,
+                                const std::vector<std::size_t>& seq,
+                                std::size_t num_apps,
+                                std::vector<unsigned char>& warm,
+                                std::vector<double>& exec,
+                                std::vector<std::uint64_t>& masks) {
+  masks = compute_context_masks(seq, num_apps);
+  const std::size_t t_count = seq.size();
+  warm.resize(t_count);
+  exec.resize(t_count);
+  for (std::size_t k = 0; k < t_count; ++k) {
+    const AppWcet& w = wcets[seq[k]];
+    warm[k] = masks[k] == 0 ? 1 : 0;
+    if (warm[k]) {
+      exec[k] = w.warm_seconds;
+      continue;
+    }
+    const double e = contexts.context_wcet_seconds(seq[k], masks[k]);
+    if (!(e >= w.warm_seconds && e <= w.cold_seconds)) {
+      throw std::invalid_argument(
+          "derive_timing: context WCET outside [warm, cold]");
+    }
+    exec[k] = e;
+  }
+}
+
 void validate_sequence(const std::vector<std::size_t>& seq,
                        std::size_t num_apps) {
   if (seq.empty() || num_apps == 0) {
@@ -106,6 +137,47 @@ void validate_sequence(const std::vector<std::size_t>& seq,
 }
 
 }  // namespace
+
+double ContextWcetTable::context_wcet_seconds(std::size_t app,
+                                              std::uint64_t mask) const {
+  if (app >= base.size()) {
+    throw std::invalid_argument("ContextWcetTable: app out of range");
+  }
+  if (mask == 0) return base[app].warm_seconds;
+  if (app < contexts.size()) {
+    const auto it = contexts[app].find(mask);
+    if (it != contexts[app].end()) return it->second;
+  }
+  // Unknown context: the cold bound is sound for any interference.
+  return base[app].cold_seconds;
+}
+
+std::vector<std::uint64_t> compute_context_masks(
+    const std::vector<std::size_t>& seq, std::size_t num_apps) {
+  validate_sequence(seq, num_apps);
+  if (num_apps > 64) {
+    throw std::invalid_argument(
+        "compute_context_masks: more than 64 apps cannot be mask-encoded");
+  }
+  const std::size_t t_count = seq.size();
+  std::vector<std::uint64_t> masks(t_count, 0);
+  // acc[a] accumulates the apps seen since app a's most recent task. Two
+  // cyclic passes: the first initializes the wrap-around state (what ran
+  // after a's last task of the previous period), the second records.
+  std::vector<std::uint64_t> acc(num_apps, 0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t k = 0; k < t_count; ++k) {
+      const std::size_t app = seq[k];
+      if (pass == 1) masks[k] = acc[app];
+      const std::uint64_t bit = std::uint64_t{1} << app;
+      for (std::size_t a = 0; a < num_apps; ++a) {
+        if (a != app) acc[a] |= bit;
+      }
+      acc[app] = 0;
+    }
+  }
+  return masks;
+}
 
 double AppTiming::h_max() const {
   double best = 0.0;
@@ -156,9 +228,53 @@ ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
   return build_intervals(num_apps, seq, warm, exec, start, period);
 }
 
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const ContextWcetLookup& contexts,
+                             const InterleavedSchedule& schedule) {
+  return derive_timing(wcets, contexts, schedule.task_sequence(),
+                       schedule.num_apps());
+}
+
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const ContextWcetLookup& contexts,
+                             const std::vector<std::size_t>& seq,
+                             std::size_t num_apps) {
+  validate_wcets(wcets, num_apps);
+  std::vector<unsigned char> warm;
+  std::vector<double> exec;
+  std::vector<std::uint64_t> masks;
+  std::vector<double> start;
+  classify_sequence_contexts(wcets, contexts, seq, num_apps, warm, exec,
+                             masks);
+  const double period = accumulate_starts(exec, start);
+  return build_intervals(num_apps, seq, warm, exec, start, period);
+}
+
 TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
                             const InterleavedSchedule& schedule) {
   return expand_timing(wcets, schedule.task_sequence(), schedule.num_apps());
+}
+
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const ContextWcetLookup& contexts,
+                            const InterleavedSchedule& schedule) {
+  return expand_timing(wcets, contexts, schedule.task_sequence(),
+                       schedule.num_apps());
+}
+
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const ContextWcetLookup& contexts,
+                            const std::vector<std::size_t>& seq,
+                            std::size_t num_apps) {
+  validate_wcets(wcets, num_apps);
+  TimingPattern p;
+  p.seq = seq;
+  classify_sequence_contexts(wcets, contexts, p.seq, num_apps, p.warm, p.exec,
+                             p.masks);
+  p.period = accumulate_starts(p.exec, p.start);
+  p.timing =
+      build_intervals(num_apps, p.seq, p.warm, p.exec, p.start, p.period);
+  return p;
 }
 
 TimingPattern expand_timing(const std::vector<AppWcet>& wcets,

@@ -5,6 +5,8 @@
 ///        h_i(j) and sensing-to-actuation delay tau_i(j), the schedule
 ///        period, and the idle-time feasibility check (paper eq. (4)).
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sched/schedule.hpp"
@@ -18,6 +20,49 @@ struct AppWcet {
   double cold_seconds = 0.0;  ///< WCET without cache reuse, Ewc(1)
   double warm_seconds = 0.0;  ///< WCET with cache reuse, Ewc(j >= 2)
 };
+
+/// Schedule-dependent (context-sensitive) WCET source. The binary
+/// cold/warm pair assumes a burst-opening task lost its whole cache; a
+/// context lookup instead bounds it given WHICH applications ran since the
+/// app's previous task (partial cache survival between non-adjacent
+/// bursts). Implemented by cache::ScheduleWcetAnalyzer (lazy, memoized
+/// static re-analysis) and by the plain ContextWcetTable below.
+class ContextWcetLookup {
+public:
+  virtual ~ContextWcetLookup() = default;
+
+  /// Sound WCET bound in seconds for one task of \p app given that exactly
+  /// the applications in \p mask (bit i = app i, own bit never set) ran
+  /// since the app's previous task. Never called with mask == 0 — that is
+  /// the guaranteed-warm case, served by AppWcet::warm_seconds directly.
+  /// Implementations must stay within [warm_seconds, cold_seconds] of the
+  /// app (derive_timing validates and throws otherwise: an out-of-range
+  /// bound would be unsound or break the cold fallback ordering) and must
+  /// be deterministic per (app, mask) — the parallel search engines call
+  /// concurrently and rely on bit-identical values.
+  virtual double context_wcet_seconds(std::size_t app,
+                                      std::uint64_t mask) const = 0;
+};
+
+/// Materialized per-context WCET table: mask -> seconds per app, with the
+/// cold/warm pair as base. Missing masks fall back to the cold bound
+/// (always sound); mask 0 is the warm bound. The plain-data counterpart of
+/// the lazy analyzer, for tests, benches and small systems.
+struct ContextWcetTable final : public ContextWcetLookup {
+  std::vector<AppWcet> base;
+  std::vector<std::unordered_map<std::uint64_t, double>> contexts;
+
+  double context_wcet_seconds(std::size_t app,
+                              std::uint64_t mask) const override;
+};
+
+/// Steady-state interference mask of every task in a cyclic sequence:
+/// masks[k] has bit a set iff app a runs strictly between task k and the
+/// cyclically-previous task of app seq[k]. masks[k] == 0 exactly when the
+/// task is guaranteed warm (previous task is the same app).
+/// \throws std::invalid_argument if num_apps > 64 (mask width).
+std::vector<std::uint64_t> compute_context_masks(
+    const std::vector<std::size_t>& seq, std::size_t num_apps);
 
 /// One control interval of an application: from the sensing of one of its
 /// tasks to the sensing of its next task.
@@ -78,6 +123,22 @@ ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
                              const std::vector<std::size_t>& seq,
                              std::size_t num_apps);
 
+/// Context-sensitive timing derivation: warm tasks (mask 0) keep the warm
+/// bound, every burst-opening task gets its schedule-dependent bound from
+/// \p contexts instead of the cold bound. Interval construction, start
+/// accumulation and period are the exact same code path as the binary
+/// overloads, so with a lookup that always returns the cold bound the
+/// result is bit-identical to derive_timing(wcets, seq, num_apps).
+/// \throws std::invalid_argument on the binary overloads' conditions, on
+///         num_apps > 64, or on a lookup value outside [warm, cold].
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const ContextWcetLookup& contexts,
+                             const std::vector<std::size_t>& seq,
+                             std::size_t num_apps);
+ScheduleTiming derive_timing(const std::vector<AppWcet>& wcets,
+                             const ContextWcetLookup& contexts,
+                             const InterleavedSchedule& schedule);
+
 /// A single-task edit to a schedule's task sequence — the delta between an
 /// interleaved schedule and one of its insert/remove neighbors (growing or
 /// shrinking a burst, inserting a fresh segment, removing a singleton
@@ -101,6 +162,9 @@ struct TimingPattern {
   std::vector<unsigned char> warm;  ///< steady-state warm classification
   std::vector<double> exec;         ///< per-task WCET (warm or cold)
   std::vector<double> start;        ///< task start offsets within the period
+  /// Per-task interference masks (see compute_context_masks); only filled
+  /// by the context-sensitive expand_timing overloads, empty otherwise.
+  std::vector<std::uint64_t> masks;
   double period = 0.0;
   ScheduleTiming timing;            ///< == derive_timing of the schedule
 };
@@ -115,6 +179,16 @@ TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
                             const std::vector<std::size_t>& seq,
                             std::size_t num_apps);
 
+/// Context-sensitive pattern expansion (fills TimingPattern::masks);
+/// pattern.timing == derive_timing(wcets, contexts, ...) bit-for-bit.
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const ContextWcetLookup& contexts,
+                            const InterleavedSchedule& schedule);
+TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
+                            const ContextWcetLookup& contexts,
+                            const std::vector<std::size_t>& seq,
+                            std::size_t num_apps);
+
 /// Incremental re-derivation: timing of the schedule obtained by applying
 /// \p move to \p base, bit-identical to derive_timing on the moved task
 /// sequence (differentially gtest-enforced). Only the affected warm/cold
@@ -125,6 +199,9 @@ TimingPattern expand_timing(const std::vector<AppWcet>& wcets,
 /// If \p app_unchanged is non-null it receives one flag per app: true iff
 /// that app's interval list is value-identical to the base schedule's (the
 /// evaluator uses this to reuse the app's design without re-quantizing).
+/// Binary cold/warm only: under context-sensitive WCETs a one-task move
+/// can change interference masks far from the edit, so the evaluator's
+/// derive_neighbor_timing re-derives from scratch in that mode instead.
 /// \throws std::invalid_argument on an out-of-range move, or a removal
 ///         that would leave an app with no task.
 ScheduleTiming derive_timing_delta(const std::vector<AppWcet>& wcets,
