@@ -1,0 +1,88 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Owned, platform-deterministic RNG for the workload generator:
+///        splitmix64 (Steele/Lea/Flood) plus hand-rolled bounded-int and
+///        real draws. std:: distributions are implementation-defined — the
+///        same seed yields different systems on libstdc++ vs libc++ — so
+///        the generator contract ("a printed seed reproduces the failing
+///        system bit-identically anywhere") requires every draw to be fully
+///        specified here. Only integer ops and IEEE +,-,*,/ are used; no
+///        libm calls whose last bit could differ across platforms.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace catsched::testgen {
+
+/// splitmix64: 64 bits of state, one mix per draw. Fast, full-period over
+/// the counter, and trivially reproducible — exactly what a fuzzing seed
+/// needs (quality requirements are modest; reproducibility is the point).
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n) by rejection sampling (unbiased; the loop rejects
+  /// at most the top 2^64 mod n values, so it terminates almost surely and
+  /// consumes a deterministic number of draws for a given state). n >= 1.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (lo <= hi).
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform index in [0, n).
+  constexpr std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(below(n));
+  }
+
+  /// Uniform double in [0, 1): the top 53 bits scaled by 2^-53.
+  constexpr double real01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * real01();
+  }
+
+  /// Bernoulli draw with probability p (always consumes one draw).
+  constexpr bool chance(double p) noexcept { return real01() < p; }
+
+  /// Uniform element of a non-empty vector.
+  template <class T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle driven by below() (std::shuffle's draw pattern
+  /// is implementation-defined; this one is pinned).
+  template <class T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace catsched::testgen

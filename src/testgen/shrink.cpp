@@ -1,0 +1,86 @@
+#include "testgen/shrink.hpp"
+
+namespace catsched::testgen {
+
+namespace {
+
+/// Drop app \p idx and renormalize the remaining weights to sum to 1.
+core::SystemModel without_app(const core::SystemModel& m, std::size_t idx) {
+  core::SystemModel out = m;
+  out.apps.erase(out.apps.begin() + static_cast<std::ptrdiff_t>(idx));
+  double sum = 0.0;
+  for (const core::Application& a : out.apps) sum += a.weight;
+  if (sum > 0.0) {
+    for (core::Application& a : out.apps) a.weight /= sum;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_system(const core::SystemModel& start,
+                           const std::string& check_id,
+                           const FailurePredicate& fails) {
+  ShrinkResult res;
+  res.model = start;
+  res.sets_before = start.cache_config.num_sets();
+
+  const auto reproduces = [&](const core::SystemModel& candidate) {
+    ++res.attempts;
+    return fails(candidate) == check_id;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Pass 1: whole applications, largest structural win first.
+    for (std::size_t i = 0; res.model.apps.size() > 1 &&
+                            i < res.model.apps.size();) {
+      const core::SystemModel candidate = without_app(res.model, i);
+      if (reproduces(candidate)) {
+        res.model = candidate;
+        ++res.removed_apps;
+        progress = true;
+        // Stay at index i: the next app slid into this slot.
+      } else {
+        ++i;
+      }
+    }
+
+    // Pass 2: halve traces (the "segments" of a generated program).
+    for (core::Application& app : res.model.apps) {
+      while (app.program.trace.size() > 4) {
+        core::SystemModel candidate = res.model;
+        for (core::Application& c : candidate.apps) {
+          if (c.name == app.name) {
+            c.program.trace.resize(c.program.trace.size() / 2);
+            break;
+          }
+        }
+        if (!reproduces(candidate)) break;
+        res.removed_trace_entries += app.program.trace.size() -
+                                     app.program.trace.size() / 2;
+        app.program.trace.resize(app.program.trace.size() / 2);
+        progress = true;
+      }
+    }
+
+    // Pass 3: halve the cache's set count (ways fixed).
+    while (res.model.cache_config.num_lines % 2 == 0 &&
+           res.model.cache_config.num_lines / 2 >=
+               res.model.cache_config.ways() &&
+           res.model.cache_config.num_sets() > 1) {
+      core::SystemModel candidate = res.model;
+      candidate.cache_config.num_lines /= 2;
+      if (!reproduces(candidate)) break;
+      res.model = candidate;
+      progress = true;
+    }
+  }
+
+  res.sets_after = res.model.cache_config.num_sets();
+  return res;
+}
+
+}  // namespace catsched::testgen

@@ -1,0 +1,36 @@
+#pragma once
+/// \file shrink.hpp
+/// \brief Greedy failure shrinker: given a system on which some invariant
+///        check fails, minimize it while the SAME check keeps failing —
+///        first by dropping whole applications (renormalizing weights),
+///        then by truncating program traces, then by halving the cache's
+///        set count — so a fuzz report ends with a small, readable
+///        counterexample instead of a 5-app, 500-access system.
+
+#include <cstddef>
+#include <string>
+
+#include "core/system_model.hpp"
+#include "testgen/invariants.hpp"
+
+namespace catsched::testgen {
+
+/// Outcome of one shrink run.
+struct ShrinkResult {
+  core::SystemModel model;  ///< minimal system still failing the check
+  int removed_apps = 0;
+  std::size_t removed_trace_entries = 0;
+  std::size_t sets_before = 0;
+  std::size_t sets_after = 0;
+  int attempts = 0;  ///< predicate invocations
+};
+
+/// Greedily minimize \p start while `fails(candidate) == check_id`,
+/// repeating the three passes (apps, traces, cache sets) to a fixpoint.
+/// \p fails is typically make_invariant_predicate(seed, opts); candidates
+/// that throw inside it count as non-reproducing (see FailurePredicate).
+ShrinkResult shrink_system(const core::SystemModel& start,
+                           const std::string& check_id,
+                           const FailurePredicate& fails);
+
+}  // namespace catsched::testgen

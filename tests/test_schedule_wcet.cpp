@@ -699,4 +699,24 @@ TEST(Evaluator, CaseStudyContextModeMatchesPaperBaseAndStaysOrdered) {
   }
 }
 
+TEST(Analyzer, CaseStudyCrossContextsCollapseToColdExactly) {
+  // Promoted from bench_schedule_wcet's sanity assert: on the paper's case
+  // study, EVERY nonzero interference context equals the cold bound in
+  // exact cycles — each app's singleton sets are fully conflicted by each
+  // other app, so aging by any interferer evicts everything reusable. Not
+  // just ordered within [warm, cold] (the test above): exact equality, per
+  // app and per canonical mask.
+  const SystemModel sys = catsched::core::date18_case_study();
+  const auto analyzer = sys.make_context_analyzer();
+  const std::size_t n = sys.apps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t cold_cycles = analyzer->base(i).cold.wcet_cycles;
+    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+      if ((mask >> i) & 1u) continue;
+      EXPECT_EQ(analyzer->analyze_context(i, mask).cycles, cold_cycles)
+          << "app " << i << " mask 0x" << std::hex << mask;
+    }
+  }
+}
+
 }  // namespace

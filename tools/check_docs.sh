@@ -2,6 +2,10 @@
 # Docs hygiene gate (run from the repo root; CI runs it on every push):
 #   * every src/<module>/ directory must be covered in docs/ARCHITECTURE.md
 #   * every bench/bench_*.cpp target must be covered in docs/BENCHMARKS.md
+#   * every tools/*.cpp developer tool must be covered in docs/ARCHITECTURE.md
+#   * docs/ARCHITECTURE.md must carry the "Test generation & fuzzing"
+#     section and docs/BENCHMARKS.md the fuzz_invariants sweep entry (the
+#     property-fuzzing surface must stay documented, not just listed)
 #   * README must link both documents
 # Exits non-zero listing everything missing, so adding a module or bench
 # without documenting it fails the build.
@@ -36,6 +40,23 @@ for bench in bench/bench_*.cpp; do
     fail=1
   fi
 done
+
+for tool in tools/*.cpp; do
+  name=$(basename "$tool" .cpp)
+  if ! grep -qw "$name" docs/ARCHITECTURE.md; then
+    echo "check_docs: tool $name is not documented in docs/ARCHITECTURE.md"
+    fail=1
+  fi
+done
+
+if ! grep -q "Test generation & fuzzing" docs/ARCHITECTURE.md; then
+  echo "check_docs: docs/ARCHITECTURE.md lacks the 'Test generation & fuzzing' section"
+  fail=1
+fi
+if ! grep -qw "fuzz_invariants" docs/BENCHMARKS.md; then
+  echo "check_docs: the fuzz_invariants sweep is not documented in docs/BENCHMARKS.md"
+  fail=1
+fi
 
 for doc in docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
   if ! grep -q "$doc" README.md; then

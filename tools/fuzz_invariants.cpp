@@ -1,0 +1,235 @@
+// Property-based invariant fuzzer over generated co-design systems.
+//
+// Sweeps seeds through src/testgen: each seed becomes one generated
+// SystemModel (testgen/generator) whose full invariant surface is
+// re-checked (testgen/invariants) — WCET ordering/monotonicity, concrete
+// replay bounds, timing-derivation identities, evaluator delta/memo
+// contracts, EDF/RM consistency, and (on a stride of seeds) the
+// serial-vs-parallel bit-identity of every search engine. A failure
+// prints the offending seed, shrinks the system (testgen/shrink), and
+// exits nonzero; the summary aggregates where context WCETs, interleaving
+// and preemption actually pay across the sweep.
+//
+// Usage:
+//   fuzz_invariants [--seeds N] [--start S] [--search-stride K]
+//                   [--no-search] [--summary FILE] [--fast]
+//                   [--inject-failure] [--seed X]
+//
+//   --seeds N          sweep N consecutive seeds (default 100)
+//   --start S          first seed of the sweep (default 1)
+//   --search-stride K  run the expensive search-identity tier on every
+//                      K-th seed (default 8; 1 = every seed)
+//   --no-search        skip the search tier entirely
+//   --summary FILE     additionally write the sweep summary to FILE
+//   --fast             bounded PR-matrix run: 8 seeds, stride 4
+//   --inject-failure   self-test: assert a deliberately false invariant,
+//                      proving the failure path (seed print + shrink) works
+//   --seed X           replay one seed: generate twice, compare
+//                      fingerprints, run the full invariant surface
+//                      (searches included), print the report
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "testgen/generator.hpp"
+#include "testgen/invariants.hpp"
+#include "testgen/shrink.hpp"
+
+namespace {
+
+using catsched::testgen::GeneratedSystem;
+using catsched::testgen::GeneratorConfig;
+using catsched::testgen::InvariantOptions;
+using catsched::testgen::InvariantReport;
+using catsched::testgen::ShrinkResult;
+
+struct Args {
+  std::uint64_t seeds = 100;
+  std::uint64_t start = 1;
+  std::uint64_t search_stride = 8;
+  bool no_search = false;
+  bool inject = false;
+  bool replay = false;
+  std::uint64_t replay_seed = 0;
+  std::string summary_file;
+};
+
+std::uint64_t parse_u64(const std::string& s, const char* flag) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    std::cerr << "fuzz_invariants: bad value for " << flag << ": " << s
+              << "\n";
+    std::exit(2);
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "fuzz_invariants: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      a.seeds = parse_u64(next(), "--seeds");
+    } else if (arg == "--start") {
+      a.start = parse_u64(next(), "--start");
+    } else if (arg == "--search-stride") {
+      a.search_stride = parse_u64(next(), "--search-stride");
+    } else if (arg == "--no-search") {
+      a.no_search = true;
+    } else if (arg == "--summary") {
+      a.summary_file = next();
+    } else if (arg == "--fast") {
+      a.seeds = 8;
+      a.search_stride = 4;
+    } else if (arg == "--inject-failure") {
+      a.inject = true;
+    } else if (arg == "--seed") {
+      a.replay = true;
+      a.replay_seed = parse_u64(next(), "--seed");
+    } else {
+      std::cerr << "fuzz_invariants: unknown argument " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+InvariantOptions base_options(const Args& args) {
+  InvariantOptions opts;
+  opts.inject_failure = args.inject;
+  return opts;
+}
+
+/// Report a failure: seed, check, detail, then the shrunk counterexample.
+void report_failure(const GeneratedSystem& sys, const InvariantReport& rep,
+                    const InvariantOptions& opts) {
+  std::cout << "FAIL seed=" << sys.seed << " check=" << rep.failed_check
+            << "\n  " << rep.detail << "\n"
+            << "  replay: fuzz_invariants --seed " << sys.seed
+            << (opts.inject_failure ? " --inject-failure" : "") << "\n"
+            << "  shrinking..." << std::flush;
+  const ShrinkResult shrunk = catsched::testgen::shrink_system(
+      sys.model, rep.failed_check,
+      catsched::testgen::make_invariant_predicate(sys.seed, opts));
+  std::cout << " done (" << shrunk.attempts << " attempts)\n"
+            << "  minimal failing system: " << shrunk.model.apps.size()
+            << " apps (was " << sys.model.apps.size() << "), "
+            << shrunk.sets_after << " cache sets (was " << shrunk.sets_before
+            << ")";
+  std::cout << ", traces:";
+  for (const auto& app : shrunk.model.apps) {
+    std::cout << " " << app.name << "=" << app.program.trace.size();
+  }
+  std::cout << "\n";
+}
+
+int replay(const Args& args) {
+  const GeneratorConfig config;
+  const GeneratedSystem a =
+      catsched::testgen::generate_system(config, args.replay_seed);
+  const GeneratedSystem b =
+      catsched::testgen::generate_system(config, args.replay_seed);
+  const std::uint64_t fa = catsched::testgen::system_fingerprint(a.model);
+  const std::uint64_t fb = catsched::testgen::system_fingerprint(b.model);
+  std::cout << "seed " << args.replay_seed << ": fingerprint 0x" << std::hex
+            << fa << " / 0x" << fb << std::dec
+            << (fa == fb ? " (reproducible)" : " (MISMATCH)") << "\n";
+  if (fa != fb) return 1;
+
+  InvariantOptions opts = base_options(args);
+  opts.check_searches = !args.no_search;
+  const InvariantReport rep =
+      catsched::testgen::check_invariants(a.model, a.seed, opts);
+  std::cout << "apps=" << a.model.apps.size()
+            << " sets=" << a.model.cache_config.num_sets()
+            << " ways=" << a.model.cache_config.ways()
+            << " overlap=" << a.overlap << "\n";
+  if (!rep.passed) {
+    report_failure(a, rep, opts);
+    return 1;
+  }
+  std::cout << "PASS (context_strict=" << rep.context_strict
+            << " searches_checked=" << rep.searches_checked
+            << " interleaving_won=" << rep.interleaving_won
+            << " preemption_feasible=" << rep.preemption_feasible << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.replay) return replay(args);
+
+  const GeneratorConfig config;
+  std::uint64_t passed = 0;
+  std::uint64_t context_strict = 0;
+  std::uint64_t searches_checked = 0;
+  std::uint64_t interleaving_won = 0;
+  std::uint64_t preemption_feasible = 0;
+  std::uint64_t rr_feasible = 0;
+
+  for (std::uint64_t i = 0; i < args.seeds; ++i) {
+    const std::uint64_t seed = args.start + i;
+    InvariantOptions opts = base_options(args);
+    opts.check_searches = !args.no_search && args.search_stride > 0 &&
+                          i % args.search_stride == 0;
+    const GeneratedSystem sys =
+        catsched::testgen::generate_system(config, seed);
+    const InvariantReport rep =
+        catsched::testgen::check_invariants(sys.model, seed, opts);
+    if (!rep.passed) {
+      report_failure(sys, rep, opts);
+      return 1;
+    }
+    ++passed;
+    context_strict += rep.context_strict ? 1 : 0;
+    searches_checked += rep.searches_checked ? 1 : 0;
+    interleaving_won += rep.interleaving_won ? 1 : 0;
+    preemption_feasible += rep.preemption_feasible ? 1 : 0;
+    rr_feasible += rep.rr_feasible ? 1 : 0;
+    if ((i + 1) % 50 == 0) {
+      std::cout << "... " << (i + 1) << "/" << args.seeds << " systems ok"
+                << std::endl;
+    }
+  }
+
+  std::ostringstream summary;
+  const double pct = 100.0 / static_cast<double>(args.seeds);
+  summary << "catsched invariant fuzz summary\n"
+          << "seeds: [" << args.start << ", " << args.start + args.seeds
+          << ")\n"
+          << "systems passed: " << passed << "/" << args.seeds << "\n"
+          << "context WCET strictly between warm and cold: " << context_strict
+          << " (" << static_cast<double>(context_strict) * pct << "%)\n"
+          << "search-identity tier ran on: " << searches_checked
+          << " systems\n"
+          << "interleaving beat best periodic: " << interleaving_won << "/"
+          << searches_checked << "\n"
+          << "preemptive RM+CRPD feasible at T=tidle: " << preemption_feasible
+          << " (" << static_cast<double>(preemption_feasible) * pct << "%)\n"
+          << "round-robin (all-ones) idle-feasible: " << rr_feasible << " ("
+          << static_cast<double>(rr_feasible) * pct << "%)\n";
+  std::cout << summary.str();
+  if (!args.summary_file.empty()) {
+    std::ofstream out(args.summary_file);
+    if (!out) {
+      std::cerr << "fuzz_invariants: cannot write " << args.summary_file
+                << "\n";
+      return 1;
+    }
+    out << summary.str();
+  }
+  return 0;
+}
