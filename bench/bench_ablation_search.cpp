@@ -45,8 +45,10 @@ int main() {
   }
   {
     // Multi-start with zero tolerance also escapes.
+    opt::HybridOptions ms_opts;
+    ms_opts.max_value = 9;
     const auto ms = opt::hybrid_search_multistart(
-        rugged, rugged_ok, {{1, 1}, {8, 8}, {1, 8}}, opt::HybridOptions{.tolerance = 0.0, .max_steps = 200, .min_value = 1, .max_value = 9});
+        rugged, rugged_ok, {{1, 1}, {8, 8}, {1, 8}}, ms_opts);
     std::printf("  multi-start x3, tolerance 0: reached (%d, %d) value %.4f "
                 "with %d unique evaluations\n",
                 ms.combined.best[0], ms.combined.best[1],

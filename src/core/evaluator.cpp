@@ -44,7 +44,8 @@ std::vector<std::int64_t> quantize_intervals(
 
 Evaluator::Evaluator(SystemModel model, control::DesignOptions design_opts,
                      ThreadPool* pool, EvaluatorOptions opts)
-    : model_(std::move(model)), design_opts_(design_opts), pool_(pool) {
+    : model_(std::move(model)), design_opts_(design_opts), pool_(pool),
+      fault_(opts.fault) {
   model_.validate();
   if (opts.context_wcets) {
     // The analyzer's static cold/warm base replaces the simulator-derived
@@ -120,7 +121,10 @@ AppEvaluation Evaluator::evaluate_app_keyed(
   const MemoKey memo_key{app, std::move(key)};
   // Compute-once: concurrent requests for the same timing pattern run the
   // expensive design exactly once and all observe the finished result.
+  // An exceptional compute (a real failure or an injected one) does not
+  // latch the once-flag, so the entry stays retryable — no memo poisoning.
   return memo_.get_or_compute(memo_key, [&] {
+    if (fault_ != nullptr) fault_->on_evaluation();
     const Application& a = model_.apps[app];
     control::DesignSpec spec;
     spec.plant = a.plant;

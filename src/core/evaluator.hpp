@@ -13,6 +13,7 @@
 #include <string>
 #include <utility>
 
+#include "core/fault.hpp"
 #include "core/parallel.hpp"
 #include "core/system_model.hpp"
 #include "sched/schedule.hpp"
@@ -37,6 +38,16 @@ struct EvaluatorOptions {
   /// can become feasible. Off (the default) keeps the paper's binary
   /// model and the PR 4 incremental delta path bit-identically.
   bool context_wcets = false;
+
+  /// Fault injection (tests and the robustness tools only): every
+  /// controller design the evaluator actually runs is guarded by
+  /// FaultPlan::on_evaluation(), so an armed plan throws FaultInjected
+  /// from inside whatever thread computes the design — a pool worker under
+  /// a batching pool. Must outlive the evaluator; null = no injection.
+  /// A thrown fault leaves the design-memo entry retryable (compute-once
+  /// via std::call_once: an exceptional compute does not latch), so a
+  /// caller that catches the failure can re-evaluate and succeed.
+  FaultPlan* fault = nullptr;
 };
 
 /// Per-application outcome inside one schedule evaluation.
@@ -237,6 +248,7 @@ private:
   /// the parallel searches stay bit-identical to serial runs.
   std::unique_ptr<cache::ScheduleWcetAnalyzer> context_;
   std::vector<sched::AppWcet> wcets_;
+  FaultPlan* fault_ = nullptr;  ///< EvaluatorOptions::fault (may be null)
   std::vector<double> tidle_;  ///< per-app idle-time limits (fixed by model)
   ConcurrentMemoMap<MemoKey, AppEvaluation, IndexedVectorHash> memo_;
   ConcurrentMemoMap<std::string, ScheduleEvaluation> schedule_memo_;

@@ -1,0 +1,81 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection for the robustness tests and
+///        tools: a FaultPlan armed to fail the Nth guarded evaluation
+///        (throwing from inside a pool worker when the evaluator is
+///        pooled), to corrupt the Nth snapshot write, or to run an
+///        arbitrary crash callback (the kill-and-resume driver installs
+///        std::_Exit here to simulate a hard process death mid-search).
+///
+/// The hooks are explicit-parameter, not global: an Evaluator takes a
+/// plan via EvaluatorOptions::fault, core::save_checkpoint takes one as an
+/// argument. Production code paths with no plan attached pay a single
+/// null check.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace catsched::core {
+
+/// Thrown by a fired evaluation fault (distinct from real error types so
+/// tests can assert the injected failure — and only it — surfaced).
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Counters-based fault plan. Arm the ordinal(s) before the run; the
+/// counting methods are thread-safe, so a fault fires exactly once no
+/// matter how many workers race past the trigger point.
+class FaultPlan {
+ public:
+  /// 1-based ordinal of the guarded evaluation to fail (0 = never). The
+  /// Evaluator guards each controller design it actually runs, so with a
+  /// pooled evaluator the failure is thrown inside a worker thread.
+  std::uint64_t fail_evaluation_at = 0;
+
+  /// 1-based ordinal of the checkpoint write to corrupt (0 = never):
+  /// save_checkpoint flips a payload byte after checksumming, producing
+  /// exactly the torn-file shape the loader must detect and reject.
+  std::uint64_t corrupt_snapshot_at = 0;
+
+  /// When set, runs instead of throwing FaultInjected (e.g. std::_Exit to
+  /// simulate a crash that skips destructors, flushes, and rename steps).
+  std::function<void()> on_evaluation_fault;
+
+  /// Guard one evaluation: count it and fire if it is the armed ordinal.
+  /// \throws FaultInjected when the fault fires and no callback is set.
+  void on_evaluation() {
+    if (fail_evaluation_at == 0) return;
+    if (evaluations_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+        fail_evaluation_at) {
+      if (on_evaluation_fault) {
+        on_evaluation_fault();
+        return;
+      }
+      throw FaultInjected("injected fault: evaluation " +
+                          std::to_string(fail_evaluation_at));
+    }
+  }
+
+  /// Guard one snapshot write; true iff this write is the armed ordinal.
+  bool should_corrupt_snapshot() noexcept {
+    if (corrupt_snapshot_at == 0) return false;
+    return snapshots_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           corrupt_snapshot_at;
+  }
+
+  /// Evaluations counted so far (observability for tests).
+  std::uint64_t evaluations_observed() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+};
+
+}  // namespace catsched::core

@@ -1,11 +1,14 @@
 #include "core/interleaved_codesign.hpp"
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "core/snapshot.hpp"
 
 namespace catsched::core {
 
@@ -34,18 +37,19 @@ std::vector<Segment> merge_adjacent(std::vector<Segment> segs) {
   return segs;
 }
 
-/// Try to construct; invalid candidates are silently dropped. When the
-/// candidate is kept and \p move is set, the move describes it as a
-/// one-task edit of the base sequence (the incremental evaluation path).
+/// Keep a candidate only when it satisfies the schedule invariants,
+/// checked explicitly via is_valid — the move generators legitimately
+/// produce invalid shapes (a shrink can orphan an app, a swap can create
+/// mergeable neighbors), and pre-checking drops exactly those while any
+/// *other* std::invalid_argument still propagates as the bug it would be.
+/// When the candidate is kept and \p move is set, the move describes it as
+/// a one-task edit of the base sequence (the incremental evaluation path).
 void push_if_valid(std::vector<InterleavedNeighbor>& out,
                    std::vector<Segment> segs, std::size_t num_apps,
                    std::optional<TaskMove> move = std::nullopt) {
-  try {
-    InterleavedNeighbor n{InterleavedSchedule(std::move(segs), num_apps),
-                          std::move(move)};
-    out.push_back(std::move(n));
-  } catch (const std::invalid_argument&) {
-  }
+  if (!InterleavedSchedule::is_valid(segs, num_apps)) return;
+  out.push_back(InterleavedNeighbor{
+      InterleavedSchedule(std::move(segs), num_apps), std::move(move)});
 }
 
 TaskMove insert_move(std::size_t pos, std::size_t app) {
@@ -154,6 +158,48 @@ std::vector<InterleavedSchedule> interleaved_neighbors(
   return out;
 }
 
+namespace {
+
+/// Published search state as a snapshot payload: per entry the canonical
+/// key, the Pall bits, and the two feasibility flags — exactly what the
+/// serial reduction reads, so a resumed run can consume the entry without
+/// re-running its controller designs.
+std::vector<std::uint8_t> encode_interleaved_state(
+    const std::unordered_map<std::string, const ScheduleEvaluation*>& seen) {
+  SnapshotWriter w;
+  w.put_u64(seen.size());
+  for (const auto& [key, eval] : seen) {
+    w.put_string(key);
+    w.put_f64(eval->pall);
+    w.put_u8(eval->idle_feasible ? 1 : 0);
+    w.put_u8(eval->control_feasible ? 1 : 0);
+  }
+  return w.take();
+}
+
+/// Inverse of encode_interleaved_state. The reconstructed evaluations are
+/// *synthetic*: apps stays empty (the marker the search upgrades on), but
+/// pall and the feasibility bits round-trip bit-exactly — all the
+/// reduction ever compares.
+std::unordered_map<std::string, ScheduleEvaluation> decode_interleaved_state(
+    const std::vector<std::uint8_t>& payload) {
+  SnapshotReader r(payload);
+  const std::uint64_t count = r.get_u64();
+  std::unordered_map<std::string, ScheduleEvaluation> overlay;
+  overlay.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key = r.get_string();
+    ScheduleEvaluation ev;
+    ev.pall = r.get_f64();
+    ev.idle_feasible = r.get_u8() != 0;
+    ev.control_feasible = r.get_u8() != 0;
+    overlay.emplace(std::move(key), std::move(ev));
+  }
+  return overlay;
+}
+
+}  // namespace
+
 InterleavedSearchResult interleaved_search(
     Evaluator& evaluator, const InterleavedSchedule& start,
     const InterleavedSearchOptions& opts, ThreadPool* pool) {
@@ -163,6 +209,22 @@ InterleavedSearchResult interleaved_search(
   }
 
   InterleavedSearchResult res;
+  RunBudget* budget = opts.budget;
+  if (budget != nullptr && budget->cancelled()) {
+    res.stop = budget->reason();
+    return res;
+  }
+
+  // Resume: preload the previous process's published evaluations. They
+  // enter `seen` below as overlay values owned here — the batch shortcut
+  // serves them without touching the evaluator, so replaying the search
+  // fast-forwards to the kill point at reduction speed.
+  std::unordered_map<std::string, ScheduleEvaluation> overlay;
+  if (!opts.checkpoint_path.empty() && snapshot_exists(opts.checkpoint_path)) {
+    overlay = decode_interleaved_state(load_snapshot_file(
+        opts.checkpoint_path, kSnapshotKindInterleaved, &res.used_fallback));
+    res.resumed = true;
+  }
   // Dedup on the canonical string so re-visits cost nothing and the
   // evaluation count matches "distinct schedules evaluated" for THIS
   // search. The values point into the evaluator's own schedule memo, so
@@ -182,8 +244,26 @@ InterleavedSearchResult interleaved_search(
   // re-visited neighbor needs no timing derivation at all — only the
   // finished evaluation for the reduction. Mutated ONLY between batches
   // (serial), read-only inside them, so the batch needs no locks; values
-  // point into the evaluator's schedule memo (valid for its lifetime).
+  // point into the evaluator's schedule memo (valid for its lifetime) or
+  // into the resume overlay above (owned by this frame, never mutated).
   std::unordered_map<std::string, const ScheduleEvaluation*> seen;
+  seen.reserve(overlay.size());
+  for (const auto& [key, eval] : overlay) seen.emplace(key, &eval);
+
+  // Snapshots are written at the serial publish points only (so a
+  // checkpoint never contains a half-published batch), every
+  // opts.checkpoint_every iterations and once more on exit; unchanged
+  // state is never rewritten.
+  std::size_t saved_seen_size = seen.size();
+  const auto save_checkpoint = [&] {
+    if (opts.checkpoint_path.empty() || seen.size() == saved_seen_size) {
+      return;
+    }
+    write_snapshot_file(opts.checkpoint_path, kSnapshotKindInterleaved,
+                        encode_interleaved_state(seen), opts.fault);
+    saved_seen_size = seen.size();
+    ++res.checkpoints_written;
+  };
 
   InterleavedSchedule current = start;
   std::string current_key = current.to_string();
@@ -196,7 +276,16 @@ InterleavedSearchResult interleaved_search(
     res.found = true;
   }
 
+  int last_saved_step = 0;
   for (int step = 0; step < opts.max_steps; ++step) {
+    // Anytime check, quantized to the step boundary: stop-flag and
+    // evaluation-cap trips land here deterministically (evaluations are
+    // noted only when a completed batch publishes), so a run cut short
+    // after k accepted steps matches a max_steps = k run bit for bit.
+    if (budget != nullptr && budget->cancelled()) {
+      res.stop = budget->reason();
+      break;
+    }
     auto neighbors = interleaved_neighbor_moves(current, opts);
     const sched::TimingPattern* pattern =
         opts.incremental ? &evaluator.timing_pattern(current, current_key)
@@ -251,11 +340,30 @@ InterleavedSearchResult interleaved_search(
       evals[k] = memo.get_or_compute(key, [&] {
         return &evaluator.evaluate_cached(cand.schedule, key, current_eval);
       });
-    });
+    }, budget);
+    if (budget != nullptr && budget->cancelled()) {
+      // A deadline (or external stop) fired mid-batch: slots are only
+      // partially filled. Discard the batch without publishing — finished
+      // evaluations stay in the evaluator's memo, but the returned state
+      // is exactly the last completed step's.
+      res.stop = budget->reason();
+      break;
+    }
     // Serial (between batches): publish this step's evaluations for the
     // next step's shortcut.
+    std::size_t published = 0;
     for (std::size_t k = 0; k < neighbors.size(); ++k) {
-      if (evals[k] != nullptr) seen.emplace(std::move(keys[k]), evals[k]);
+      if (evals[k] != nullptr &&
+          seen.emplace(std::move(keys[k]), evals[k]).second) {
+        ++published;
+      }
+    }
+    if (budget != nullptr) {
+      budget->note_evaluations(static_cast<std::uint64_t>(published));
+    }
+    if (step - last_saved_step >= opts.checkpoint_every) {
+      save_checkpoint();
+      last_saved_step = step;
     }
     const InterleavedSchedule* next = nullptr;
     ScheduleEvaluation next_eval;
@@ -275,6 +383,14 @@ InterleavedSearchResult interleaved_search(
     current = *next;
     current_key = current.to_string();
     current_eval = next_eval;
+    if (current_eval.apps.empty()) {
+      // The accepted neighbor was served by the resume overlay (synthetic:
+      // Pall + feasibility only). The next step's delta evaluations anchor
+      // on the current schedule's full per-app state, so upgrade it here —
+      // a deterministic re-evaluation that cannot change the accepted path
+      // (the overlay's Pall bits are exact).
+      current_eval = evaluator.evaluate_cached(current, current_key);
+    }
     res.path.push_back(current_key);
     ++res.steps;
     if (current_eval.feasible() &&
@@ -285,7 +401,13 @@ InterleavedSearchResult interleaved_search(
     }
     if (gain <= 0.0 && opts.tolerance == 0.0) break;
   }
-  res.evaluations = static_cast<int>(memo.size());
+  save_checkpoint();
+  // Published entries, not memo.size(): the memo can hold a discarded
+  // partial batch (mid-batch cancellation) and misses overlay-served
+  // entries on a resume — `seen` is the same set on every path, so the
+  // count is bit-identical between a fresh run, a cut-short run at the
+  // same step, and a resumed run at completion.
+  res.evaluations = static_cast<int>(seen.size());
   return res;
 }
 

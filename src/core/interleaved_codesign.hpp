@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "core/fault.hpp"
+#include "core/run_budget.hpp"
 
 namespace catsched::core {
 
@@ -40,6 +42,23 @@ struct InterleavedSearchOptions {
   /// off = the pre-incremental behavior, kept for differential tests and
   /// benchmarking.
   bool incremental = true;
+
+  /// Anytime extension (all off by default). The budget is checked at
+  /// every step boundary and at every pool chunk claim; a fired budget
+  /// returns best-so-far with the StopReason, never throws, and a
+  /// mid-batch trip discards the partial batch — so a run cut short after
+  /// k accepted steps is bit-identical to a max_steps = k run.
+  RunBudget* budget = nullptr;
+  /// Checkpoint file (empty = off). The snapshot stores every *published*
+  /// evaluation as (canonical key, Pall, feasibility bits); an existing
+  /// file is resumed from automatically: published entries are preloaded
+  /// as lightweight overlay evaluations, so the replayed search
+  /// fast-forwards through them and only re-runs the controller designs of
+  /// schedules it actually accepts — converging to the bit-identical final
+  /// result of an uninterrupted run (see tests/test_anytime.cpp).
+  std::string checkpoint_path;
+  int checkpoint_every = 4;         ///< steps between snapshots
+  FaultPlan* fault = nullptr;       ///< snapshot corruption hook (tests)
 };
 
 /// Outcome of the interleaved search.
@@ -48,8 +67,13 @@ struct InterleavedSearchResult {
   ScheduleEvaluation best_evaluation;
   bool found = false;
   int steps = 0;
-  int evaluations = 0;  ///< distinct schedules evaluated
+  int evaluations = 0;  ///< distinct schedules in the published search state
   std::vector<std::string> path;  ///< accepted schedules, start first
+  /// Anytime/checkpoint observability (defaults = nothing fired).
+  StopReason stop = StopReason::completed;
+  bool resumed = false;
+  bool used_fallback = false;  ///< the .prev snapshot served (primary damaged)
+  int checkpoints_written = 0;
 };
 
 /// One neighbor candidate plus its delta descriptor: `move` is set iff the

@@ -58,14 +58,18 @@ namespace {
 /// next >= n and return without touching body).
 struct ForLoopState {
   ForLoopState(std::size_t total, std::size_t chunk_size,
-               const std::function<void(std::size_t)>& b)
-      : n(total), chunk(chunk_size == 0 ? 1 : chunk_size), body(b) {}
+               const std::function<void(std::size_t)>& b,
+               const RunBudget* rb)
+      : n(total), chunk(chunk_size == 0 ? 1 : chunk_size), body(b),
+        budget(rb) {}
 
   const std::size_t n;
   const std::size_t chunk;
   const std::function<void(std::size_t)>& body;  // outlives wait (see below)
+  const RunBudget* budget;                       // may be null
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};  // fail-fast: first throw stops new chunks
   std::mutex mu;
   std::condition_variable cv;
   std::exception_ptr error;  // first failure, guarded by mu
@@ -73,17 +77,27 @@ struct ForLoopState {
   /// Claim and run chunks of iterations until the index space is
   /// exhausted. One atomic increment claims `chunk` consecutive indices;
   /// completion is tracked per chunk, not per iteration.
+  ///
+  /// Short-circuit: a chunk claimed after a previous body threw, or after
+  /// the budget fired, is counted done *without* running its body. Claiming
+  /// must continue so the done == n completion condition still trips —
+  /// silently abandoning indices would deadlock the caller's wait.
   void drain() {
     for (;;) {
+      const bool skip = failed.load(std::memory_order_acquire) ||
+                        (budget != nullptr && budget->cancelled());
       const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       const std::size_t end = std::min(begin + chunk, n);
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          body(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(mu);
-          if (!error) error = std::current_exception();
+      if (!skip) {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            failed.store(true, std::memory_order_release);
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error) error = std::current_exception();
+          }
         }
       }
       const std::size_t count = end - begin;
@@ -110,10 +124,14 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const RunBudget* budget) {
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (budget != nullptr && budget->cancelled()) return;
+      body(i);
+    }
     return;
   }
   if (chunk == 0) chunk = default_chunk(n, workers_.size() + 1);
@@ -121,7 +139,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   // once the caller observed done == n every claimable index is gone, so
   // stragglers dequeued later exit immediately and the reference to the
   // caller's (by then dead) body is never followed.
-  auto state = std::make_shared<ForLoopState>(n, chunk, body);
+  auto state = std::make_shared<ForLoopState>(n, chunk, body, budget);
   // Only as many helpers as there are chunks beyond the caller's first.
   const std::size_t chunks = (n + chunk - 1) / chunk;
   const std::size_t helpers = std::min(workers_.size(), chunks - 1);
@@ -149,11 +167,15 @@ void parallel_for(ThreadPool* pool, std::size_t n,
 }
 
 void parallel_for(ThreadPool* pool, std::size_t n, std::size_t chunk,
-                  const std::function<void(std::size_t)>& body) {
+                  const std::function<void(std::size_t)>& body,
+                  const RunBudget* budget) {
   if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(n, chunk, body);
+    pool->parallel_for(n, chunk, body, budget);
   } else {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (budget != nullptr && budget->cancelled()) return;
+      body(i);
+    }
   }
 }
 

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/run_budget.hpp"
+
 namespace catsched::core {
 
 /// Usable hardware concurrency (always >= 1).
@@ -59,10 +61,12 @@ public:
   }
 
   /// Run body(0..n-1), distributing iterations over the pool plus the
-  /// calling thread. Blocks until every iteration finished. The first
-  /// exception thrown by any iteration is rethrown here (the remaining
-  /// iterations still run). Iteration order across threads is unspecified;
-  /// callers needing determinism must write to per-index slots.
+  /// calling thread. Blocks until every iteration finished or the loop
+  /// short-circuited. The first exception thrown by any iteration is
+  /// rethrown here, and the loop fails fast: once a worker has thrown, no
+  /// further chunks run their bodies (in-flight chunks on other threads
+  /// still finish). Iteration order across threads is unspecified; callers
+  /// needing determinism must write to per-index slots.
   ///
   /// Scheduling is dynamic in chunks of default_chunk() iterations: threads
   /// claim the next unclaimed chunk from a shared atomic index, so a few
@@ -74,8 +78,15 @@ public:
   /// increment). chunk == 0 means default_chunk(n). Larger chunks amortize
   /// the claim for very cheap bodies; chunk 1 balances best when per-
   /// iteration cost varies wildly.
+  ///
+  /// When \p budget is non-null it is consulted at every chunk claim: once
+  /// the budget fires, remaining chunks are skipped (their bodies never
+  /// run) and the call returns normally with the index space only partially
+  /// executed. Cancellation here never throws — the caller decides what a
+  /// partial batch means (the searches discard it; see run_budget.hpp).
   void parallel_for(std::size_t n, std::size_t chunk,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    const RunBudget* budget = nullptr);
 
   /// The low-variance default chunk size: aim for ~8 chunks per
   /// participating thread (worst-case imbalance from one straggler chunk
@@ -103,9 +114,11 @@ private:
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 
-/// Serial fallback helper with an explicit chunk size (0 = default).
+/// Serial fallback helper with an explicit chunk size (0 = default) and an
+/// optional budget (checked per chunk, exactly like the pooled path).
 void parallel_for(ThreadPool* pool, std::size_t n, std::size_t chunk,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  const RunBudget* budget = nullptr);
 
 /// splitmix64 finalizer: the avalanche stage used by all key hashes here.
 constexpr std::uint64_t mix64(std::uint64_t x) noexcept {

@@ -1,0 +1,52 @@
+#include "core/run_budget.hpp"
+
+namespace catsched::core {
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::completed:
+      return "completed";
+    case StopReason::stop_requested:
+      return "stop_requested";
+    case StopReason::deadline_expired:
+      return "deadline_expired";
+    case StopReason::evaluation_limit:
+      return "evaluation_limit";
+  }
+  return "unknown";
+}
+
+void RunBudget::set_deadline_after(double seconds) {
+  has_deadline_ = true;
+  deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+}
+
+bool RunBudget::cancelled() const noexcept {
+  if (latched_.load(std::memory_order_acquire) != 0) return true;
+  StopReason why = StopReason::completed;
+  if (stop_.load(std::memory_order_acquire)) {
+    why = StopReason::stop_requested;
+  } else if (max_evaluations_ != 0 &&
+             evaluations_.load(std::memory_order_relaxed) >=
+                 max_evaluations_) {
+    why = StopReason::evaluation_limit;
+  } else if (has_deadline_ && Clock::now() >= deadline_) {
+    why = StopReason::deadline_expired;
+  }
+  if (why == StopReason::completed) return false;
+  // Latch the first observed cause; a concurrent racer may latch a
+  // different one, but whichever wins stays stable forever after.
+  std::uint8_t expected = 0;
+  latched_.compare_exchange_strong(expected,
+                                   static_cast<std::uint8_t>(why),
+                                   std::memory_order_acq_rel);
+  return true;
+}
+
+StopReason RunBudget::reason() const noexcept {
+  if (!cancelled()) return StopReason::completed;
+  return static_cast<StopReason>(latched_.load(std::memory_order_acquire));
+}
+
+}  // namespace catsched::core

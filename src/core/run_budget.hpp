@@ -1,0 +1,104 @@
+#pragma once
+/// \file run_budget.hpp
+/// \brief Cooperative cancellation and resource budgets for anytime
+///        search: a shared RunBudget (wall-clock deadline, evaluation
+///        cap, external stop flag) that ThreadPool::parallel_for consults
+///        at chunk-claim boundaries and every Stage-2 search loop consults
+///        at step boundaries, plus the StopReason taxonomy reported back
+///        with every (possibly partial) search result.
+///
+/// Determinism contract: cancellation is cooperative and *quantized to
+/// step boundaries*. A search never makes a decision from a partially
+/// evaluated neighbor batch — when the budget fires mid-batch the batch is
+/// discarded (its finished evaluations stay in the memos, so no work is
+/// lost) and the search returns its state as of the last completed step.
+/// A run cancelled after k completed steps is therefore bit-identical to
+/// an uninterrupted run truncated at max_steps = k (gtest-pinned in
+/// tests/test_anytime.cpp). Stop-flag and evaluation-cap cancellations
+/// trip at deterministic step boundaries; only the wall-clock deadline
+/// fires at a nondeterministic step.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace catsched::core {
+
+/// Why a search loop returned: its natural end, or which budget fired.
+/// Every anytime result carries one; `completed` means the result is the
+/// full (non-anytime) answer.
+enum class StopReason : std::uint8_t {
+  completed = 0,     ///< ran to its natural end (not cancelled)
+  stop_requested,    ///< RunBudget::request_stop() (external controller)
+  deadline_expired,  ///< wall-clock deadline passed
+  evaluation_limit,  ///< distinct-evaluation cap reached
+};
+
+/// Short stable name ("completed", "deadline_expired", ...) for logs,
+/// summaries and the search_server protocol.
+const char* to_string(StopReason reason) noexcept;
+
+/// Shared cancellation token + resource budget. One instance is shared by
+/// reference between the driving search loop, the thread pool's chunk
+/// claims, and (optionally) an external controller thread calling
+/// request_stop().
+///
+/// Thread-safety: configure (set_deadline_after / set_max_evaluations)
+/// before handing the budget to a run; request_stop(), note_evaluations()
+/// and the readers are safe to call concurrently from any thread. The
+/// first limit observed latches: reason() never changes once cancelled()
+/// has returned true.
+class RunBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunBudget() = default;
+  RunBudget(const RunBudget&) = delete;
+  RunBudget& operator=(const RunBudget&) = delete;
+
+  /// Cancel once wall-clock time advances \p seconds past now. Values
+  /// <= 0 expire immediately (the next cancelled() check fires).
+  void set_deadline_after(double seconds);
+
+  /// Cancel once note_evaluations() has recorded \p n evaluations. The cap
+  /// is a cancellation floor, not a hard ceiling: searches record at step
+  /// boundaries, so a run may finish the step that crosses the cap.
+  /// 0 (the default) means unlimited.
+  void set_max_evaluations(std::uint64_t n) noexcept { max_evaluations_ = n; }
+
+  /// External cancellation (a serving front-end dropping a query, a signal
+  /// handler, a test). Sticky.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  /// Record \p n finished (distinct) expensive evaluations. Searches call
+  /// this when publishing a completed batch.
+  void note_evaluations(std::uint64_t n = 1) noexcept {
+    evaluations_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Evaluations recorded so far.
+  std::uint64_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// True once any limit has fired; latches the first observed reason.
+  /// Cheap enough for per-chunk checks (one relaxed load on the fast
+  /// path, a clock read only while a deadline is armed and nothing else
+  /// fired yet).
+  bool cancelled() const noexcept;
+
+  /// The latched cancellation cause, or StopReason::completed while the
+  /// budget has not fired.
+  StopReason reason() const noexcept;
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::uint64_t max_evaluations_ = 0;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  /// First fired StopReason (0 = none yet); latched by cancelled().
+  mutable std::atomic<std::uint8_t> latched_{0};
+};
+
+}  // namespace catsched::core

@@ -7,7 +7,36 @@
 #include <utility>
 #include <vector>
 
+#include "core/snapshot.hpp"
+
 namespace catsched::opt {
+
+std::vector<std::uint8_t> encode_evaluation_table(const EvaluationTable& table) {
+  core::SnapshotWriter w;
+  w.put_u64(table.size());
+  for (const auto& [point, out] : table) {
+    w.put_int_vector(point);
+    w.put_f64(out.value);
+    w.put_u8(out.feasible ? 1 : 0);
+  }
+  return w.take();
+}
+
+EvaluationTable decode_evaluation_table(
+    const std::vector<std::uint8_t>& payload) {
+  core::SnapshotReader r(payload);
+  const std::uint64_t count = r.get_u64();
+  EvaluationTable table;
+  table.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<int> point = r.get_int_vector();
+    EvalOutcome out;
+    out.value = r.get_f64();
+    out.feasible = r.get_u8() != 0;
+    table.emplace_back(std::move(point), out);
+  }
+  return table;
+}
 
 const EvalOutcome& EvalCache::evaluate(const std::vector<int>& p,
                                        std::atomic<int>* misses) {
@@ -16,7 +45,10 @@ const EvalOutcome& EvalCache::evaluate(const std::vector<int>& p,
     computed = true;
     return objective_(p);
   });
-  if (computed && misses != nullptr) misses->fetch_add(1);
+  if (computed) {
+    if (misses != nullptr) misses->fetch_add(1);
+    record(p, out);
+  }
   return out;
 }
 
@@ -31,19 +63,100 @@ const EvalOutcome& EvalCache::evaluate_neighbor_of(
     computed = true;
     return neighbor_(base, p);
   });
-  if (computed && misses != nullptr) misses->fetch_add(1);
+  if (computed) {
+    if (misses != nullptr) misses->fetch_add(1);
+    record(p, out);
+  }
   return out;
 }
 
 std::vector<const EvalOutcome*> EvalCache::evaluate_batch(
     const std::vector<const std::vector<int>*>& points, core::ThreadPool* pool,
-    std::atomic<int>* misses, const std::vector<int>* base) {
+    std::atomic<int>* misses, const std::vector<int>* base,
+    const core::RunBudget* budget) {
   std::vector<const EvalOutcome*> out(points.size(), nullptr);
-  core::parallel_for(pool, points.size(), [&](std::size_t i) {
-    out[i] = base != nullptr ? &evaluate_neighbor_of(*base, *points[i], misses)
-                             : &evaluate(*points[i], misses);
-  });
+  core::parallel_for(
+      pool, points.size(), 0,
+      [&](std::size_t i) {
+        out[i] = base != nullptr
+                     ? &evaluate_neighbor_of(*base, *points[i], misses)
+                     : &evaluate(*points[i], misses);
+      },
+      budget);
   return out;
+}
+
+void EvalCache::enable_checkpoints(std::string path, int every,
+                                   core::FaultPlan* fault) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!path_.empty()) return;  // first configuration wins
+  path_ = std::move(path);
+  every_ = every < 1 ? 1 : every;
+  fault_ = fault;
+}
+
+bool EvalCache::try_resume(bool* used_fallback) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    path = path_;
+  }
+  if (path.empty() || !core::snapshot_exists(path)) {
+    if (used_fallback != nullptr) *used_fallback = false;
+    return false;
+  }
+  const std::vector<std::uint8_t> payload = core::load_snapshot_file(
+      path, core::kSnapshotKindEvaluationTable, used_fallback);
+  preload(decode_evaluation_table(payload));
+  return true;
+}
+
+void EvalCache::preload(const EvaluationTable& table) {
+  for (const auto& [point, outcome] : table) {
+    bool inserted = false;
+    cache_.get_or_compute(point, [&] {
+      inserted = true;
+      return outcome;
+    });
+    if (inserted) {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      journal_.emplace_back(point, outcome);
+      // Preloaded entries count as already saved — they came from disk.
+      ++last_saved_;
+    }
+  }
+}
+
+void EvalCache::record(const std::vector<int>& p, const EvalOutcome& out) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  journal_.emplace_back(p, out);
+  if (!path_.empty() && journal_.size() - last_saved_ >=
+                            static_cast<std::size_t>(every_)) {
+    save_locked();
+  }
+}
+
+void EvalCache::save_locked() {
+  core::write_snapshot_file(path_, core::kSnapshotKindEvaluationTable,
+                            encode_evaluation_table(journal_), fault_);
+  last_saved_ = journal_.size();
+  ++writes_;
+}
+
+void EvalCache::save_checkpoint() {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (path_.empty() || journal_.size() == last_saved_) return;
+  save_locked();
+}
+
+EvaluationTable EvalCache::dump_table() const {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return journal_;
+}
+
+int EvalCache::checkpoints_written() const {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return writes_;
 }
 
 namespace {
@@ -71,8 +184,15 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
   // cache-size delta — under parallel multistart the latter would absorb
   // other runs' concurrent insertions.
   std::atomic<int> run_misses{0};
+  core::RunBudget* budget = opts.budget;
 
   HybridResult res;
+  if (budget != nullptr && budget->cancelled()) {
+    // Fired before this run started (e.g. a later start in a cancelled
+    // multistart): report the reason, do no work.
+    res.stop = budget->reason();
+    return res;
+  }
   std::vector<int> cur = start;
   EvalOutcome cur_out = cache.evaluate(cur, &run_misses);
   res.path.push_back(cur);
@@ -88,6 +208,14 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
   consider_best(cur, cur_out);
 
   for (int step = 0; step < opts.max_steps; ++step) {
+    // Anytime check, quantized to the step boundary: stop-flag and
+    // evaluation-cap trips land here deterministically (evaluations are
+    // noted only at the end of a completed step), so a run cut short after
+    // k steps matches a max_steps = k run bit for bit.
+    if (budget != nullptr && budget->cancelled()) {
+      res.stop = budget->reason();
+      break;
+    }
     // Build the per-dimension 1-D quadratic models: evaluate both discrete
     // neighbors where feasible; the model's gradient at the current point
     // is the central (or one-sided) difference. All candidate neighbors of
@@ -118,8 +246,21 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     for (const Neighbor& nb : neighbors) batch.push_back(&nb.point);
     // Every candidate is a +-1 neighbor of cur: memo misses take the
     // delta-aware path when the cache has one (bit-identical results).
+    const int misses_before = run_misses.load();
     const std::vector<const EvalOutcome*> outcomes =
-        cache.evaluate_batch(batch, pool, &run_misses, &cur);
+        cache.evaluate_batch(batch, pool, &run_misses, &cur, budget);
+    if (budget != nullptr && budget->cancelled()) {
+      // A deadline (or external stop) fired mid-batch: some slots are
+      // null. Discard the whole batch — finished evaluations stay in the
+      // cache, but no decision is made from a partial neighborhood, so the
+      // result is exactly the last completed step's.
+      res.stop = budget->reason();
+      break;
+    }
+    if (budget != nullptr) {
+      budget->note_evaluations(
+          static_cast<std::uint64_t>(run_misses.load() - misses_before));
+    }
 
     std::vector<std::optional<double>> f_minus(n);
     std::vector<std::optional<double>> f_plus(n);
@@ -191,6 +332,16 @@ MultiStartResult hybrid_search_multistart(
     core::ThreadPool* pool, const NeighborObjective& neighbor) {
   EvalCache cache(objective, neighbor);
   MultiStartResult res;
+  if (!opts.checkpoint_path.empty()) {
+    cache.enable_checkpoints(opts.checkpoint_path, opts.checkpoint_every,
+                             opts.fault);
+    // Resume-by-replay: preload the table and rerun every start — memo
+    // hits fast-forward each run to where the previous process died, so
+    // the final combined result (and the unique-evaluation total) is
+    // bit-identical to an uninterrupted run. Only the per-run
+    // `evaluations` split shifts (preloaded points cost nobody).
+    res.resumed = cache.try_resume(&res.used_fallback);
+  }
   res.runs.resize(starts.size());
   core::parallel_for(pool, starts.size(), [&](std::size_t i) {
     res.runs[i] = hybrid_search(cache, cheap, starts[i], opts, pool);
@@ -204,6 +355,12 @@ MultiStartResult hybrid_search_multistart(
       res.combined = r;
     }
   }
+  if (opts.budget != nullptr && opts.budget->cancelled()) {
+    res.stop = opts.budget->reason();
+    res.combined.stop = res.stop;
+  }
+  cache.save_checkpoint();
+  res.checkpoints_written = cache.checkpoints_written();
   res.total_unique_evaluations = cache.unique_evaluations();
   return res;
 }
@@ -260,29 +417,59 @@ ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
                                    std::size_t dims,
                                    const HybridOptions& opts,
                                    core::ThreadPool* pool) {
-  // Enumerate serially (cheap), fan the expensive evaluations across the
-  // pool into index-addressed slots, then reduce serially in enumeration
-  // order — bit-identical to the serial scan.
+  // Enumerate serially (cheap), then evaluate the region in fixed-size
+  // blocks through a memo cache: each block is fanned across the pool into
+  // index-addressed slots and reduced serially in enumeration order —
+  // bit-identical to the serial scan. The block structure is the anytime
+  // quantum (budget checked between blocks; a mid-block trip discards the
+  // partial block) and the checkpoint cadence rides the cache's journal.
   std::vector<std::vector<int>> region = enumerate_feasible(cheap, dims, opts);
-  std::vector<EvalOutcome> outcomes(region.size());
-  core::parallel_for(pool, region.size(),
-                     [&](std::size_t i) { outcomes[i] = objective(region[i]); });
-
+  EvalCache cache(objective);
   ExhaustiveResult res;
-  res.all.reserve(region.size());
-  for (std::size_t i = 0; i < region.size(); ++i) {
-    const EvalOutcome& out = outcomes[i];
-    ++res.enumerated;
-    if (out.feasible) {
-      ++res.control_feasible;
-      if (!res.found_feasible || out.value > res.best_value) {
-        res.found_feasible = true;
-        res.best_value = out.value;
-        res.best = region[i];
-      }
-    }
-    res.all.emplace_back(std::move(region[i]), out);
+  if (!opts.checkpoint_path.empty()) {
+    cache.enable_checkpoints(opts.checkpoint_path, opts.checkpoint_every,
+                             opts.fault);
+    res.resumed = cache.try_resume(&res.used_fallback);
   }
+  core::RunBudget* budget = opts.budget;
+  constexpr std::size_t kBlock = 256;
+  res.all.reserve(region.size());
+  for (std::size_t begin = 0; begin < region.size(); begin += kBlock) {
+    if (budget != nullptr && budget->cancelled()) {
+      res.stop = budget->reason();
+      break;
+    }
+    const std::size_t end = std::min(begin + kBlock, region.size());
+    std::vector<const std::vector<int>*> batch;
+    batch.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) batch.push_back(&region[i]);
+    std::atomic<int> misses{0};
+    const std::vector<const EvalOutcome*> outcomes =
+        cache.evaluate_batch(batch, pool, &misses, nullptr, budget);
+    if (budget != nullptr && budget->cancelled()) {
+      res.stop = budget->reason();  // partial block: discard, keep blocks 0..k
+      break;
+    }
+    if (budget != nullptr) {
+      budget->note_evaluations(static_cast<std::uint64_t>(misses.load()));
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const EvalOutcome& out = *outcomes[i - begin];
+      ++res.enumerated;
+      if (out.feasible) {
+        ++res.control_feasible;
+        if (!res.found_feasible || out.value > res.best_value) {
+          res.found_feasible = true;
+          res.best_value = out.value;
+          res.best = region[i];
+        }
+      }
+      res.all.emplace_back(std::move(region[i]), out);
+    }
+  }
+  cache.save_checkpoint();
+  res.checkpoints_written = cache.checkpoints_written();
+  res.unique_evaluations = cache.unique_evaluations();
   return res;
 }
 

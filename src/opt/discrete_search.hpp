@@ -6,11 +6,17 @@
 ///        shared memo) and the exhaustive baseline over the idle-feasible
 ///        region.
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/parallel.hpp"
+#include "core/run_budget.hpp"
 
 namespace catsched::opt {
 
@@ -38,6 +44,18 @@ using NeighborObjective = std::function<EvalOutcome(
 /// sampling period grows with every mi).
 using CheapFeasible = std::function<bool(const std::vector<int>&)>;
 
+/// The persistable form of a cache: every completed (point, outcome)
+/// pair. This is what a checkpoint stores and what a resumed run preloads
+/// — the searches themselves replay deterministically through it.
+using EvaluationTable = std::vector<std::pair<std::vector<int>, EvalOutcome>>;
+
+/// Serialize an evaluation table as a snapshot payload (values travel as
+/// IEEE-754 bit patterns — bit-exact round trip) / parse one back.
+/// \throws core::SnapshotError (truncated) on a damaged payload.
+std::vector<std::uint8_t> encode_evaluation_table(const EvaluationTable& table);
+EvaluationTable decode_evaluation_table(
+    const std::vector<std::uint8_t>& payload);
+
 /// Memoized evaluation cache shared between searches so that the
 /// "evaluated schedules" count matches the paper's accounting (a schedule
 /// costs only once, even across parallel searches).
@@ -45,6 +63,15 @@ using CheapFeasible = std::function<bool(const std::vector<int>&)>;
 /// Thread-safe: concurrent evaluate() calls on the same point run the
 /// objective exactly once (compute-once memo); the objective itself must
 /// tolerate concurrent calls on *distinct* points.
+///
+/// Checkpointing: with enable_checkpoints(), the cache journals every
+/// completed evaluation and snapshots the journal to disk each time it has
+/// grown by `every` entries (mutex-serialized, so parallel searches over a
+/// shared cache need no coordination). Because every search replays
+/// deterministically through the memo, "resume" is simply: preload the
+/// journal from the last snapshot and rerun — the search fast-forwards
+/// through memo hits to exactly where it died, then continues, converging
+/// to the bit-identical final result (see tests/test_anytime.cpp).
 class EvalCache {
 public:
   /// With a non-null \p neighbor objective, batch evaluations that carry a
@@ -71,21 +98,68 @@ public:
   /// return the outcomes in input order. Points are taken by pointer so
   /// callers batch without copying their candidate vectors. A non-null
   /// \p base marks every point as its neighbor (delta-aware misses).
+  /// A non-null \p budget short-circuits the batch at chunk granularity
+  /// once it fires; skipped points leave their slot null — callers must
+  /// treat the whole batch as discarded (the anytime searches do).
   std::vector<const EvalOutcome*> evaluate_batch(
       const std::vector<const std::vector<int>*>& points,
       core::ThreadPool* pool, std::atomic<int>* misses = nullptr,
-      const std::vector<int>* base = nullptr);
+      const std::vector<int>* base = nullptr,
+      const core::RunBudget* budget = nullptr);
 
-  /// Distinct points evaluated so far.
+  /// Distinct points evaluated so far (includes preloaded entries).
   int unique_evaluations() const {
     return static_cast<int>(cache_.size());
   }
 
+  /// Arm automatic checkpointing to \p path: a snapshot is written each
+  /// time the journal has grown by \p every completed evaluations (and on
+  /// save_checkpoint()). \p fault, when armed, corrupts the Nth write —
+  /// the fault-injection tests drive the recovery path with it. Call
+  /// before the search starts; enabling twice keeps the first config.
+  void enable_checkpoints(std::string path, int every,
+                          core::FaultPlan* fault = nullptr);
+  bool checkpoints_enabled() const { return !path_.empty(); }
+
+  /// Load \p path (or its .prev fallback) and preload the table. Returns
+  /// false when no checkpoint exists yet; rethrows core::SnapshotError
+  /// when both the primary and the fallback are damaged.
+  bool try_resume(bool* used_fallback = nullptr);
+
+  /// Insert already-known outcomes (a loaded checkpoint, a peer's table).
+  /// Points already present keep their value; new ones enter the journal.
+  void preload(const EvaluationTable& table);
+
+  /// Unconditional snapshot of the journal (no-op when checkpointing is
+  /// off or nothing changed since the last write). The searches call this
+  /// on exit so the final state is always on disk.
+  void save_checkpoint();
+
+  /// Copy of the completed-evaluation journal (only finished entries —
+  /// safe to call while a batch is in flight).
+  EvaluationTable dump_table() const;
+
+  /// Snapshot files written so far (observability for tests/benches).
+  int checkpoints_written() const;
+
 private:
+  /// Journal a completed evaluation; auto-saves when the cadence is due.
+  void record(const std::vector<int>& p, const EvalOutcome& out);
+  void save_locked();  ///< requires journal_mu_ held
+
   DiscreteObjective objective_;
   NeighborObjective neighbor_;
   core::ConcurrentMemoMap<std::vector<int>, EvalOutcome, core::VectorHash>
       cache_;
+  /// Completed evaluations only, appended after the objective returned —
+  /// never mid-compute, so a dump/save can run concurrently with a batch.
+  mutable std::mutex journal_mu_;
+  EvaluationTable journal_;
+  std::string path_;
+  int every_ = 0;
+  core::FaultPlan* fault_ = nullptr;
+  std::size_t last_saved_ = 0;  ///< journal size at the last write
+  int writes_ = 0;
 };
 
 /// Hybrid search tuning.
@@ -96,6 +170,21 @@ struct HybridOptions {
   int max_steps = 200;     ///< safety cap on accepted moves
   int min_value = 1;       ///< lower bound per dimension (mi in N+)
   int max_value = 64;      ///< safety upper bound per dimension
+
+  /// Anytime extension (all off by default — the legacy behavior).
+  /// Cooperative budget, checked at every step/block boundary and at every
+  /// pool chunk claim; a fired budget makes the search return best-so-far
+  /// with the StopReason, never throw. Stop-flag and evaluation-cap trips
+  /// are quantized to step boundaries, so a run cancelled after k steps is
+  /// bit-identical to one run with max_steps = k (see run_budget.hpp).
+  core::RunBudget* budget = nullptr;
+  /// Checkpoint file for the entry points that own their cache
+  /// (hybrid_search_multistart, exhaustive_search): empty = off. An
+  /// existing file is resumed from automatically. Callers of the plain
+  /// hybrid_search own the cache and arm it themselves.
+  std::string checkpoint_path;
+  int checkpoint_every = 16;        ///< new evaluations between snapshots
+  core::FaultPlan* fault = nullptr; ///< snapshot corruption hook (tests)
 };
 
 /// Result of one hybrid search run (or of a multi-start combination).
@@ -106,13 +195,17 @@ struct HybridResult {
   int steps = 0;                       ///< accepted moves
   int evaluations = 0;                 ///< unique evaluations *this run added*
   std::vector<std::vector<int>> path;  ///< accepted points, start first
+  /// completed, or which budget cut the run short (best-so-far above).
+  core::StopReason stop = core::StopReason::completed;
 };
 
 /// One hybrid search from \p start. Evaluations go through \p cache; the
 /// run's `evaluations` field reports how many *new* points it cost. With a
 /// \p pool, each step's <= 2n neighbor candidates are evaluated
 /// concurrently; the accepted path and best point are bit-identical to the
-/// serial run (the step decision itself stays sequential).
+/// serial run (the step decision itself stays sequential). opts.budget
+/// makes the run anytime (checked per step; a mid-batch deadline discards
+/// the partial batch — its finished evaluations stay in the cache).
 /// \throws std::invalid_argument if start is empty, out of bounds, or
 ///         cheap-infeasible.
 HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
@@ -126,6 +219,11 @@ struct MultiStartResult {
   HybridResult combined;
   std::vector<HybridResult> runs;
   int total_unique_evaluations = 0;
+  /// Anytime/checkpoint observability (defaults = nothing fired).
+  core::StopReason stop = core::StopReason::completed;
+  bool resumed = false;        ///< a checkpoint was loaded into the cache
+  bool used_fallback = false;  ///< the .prev snapshot served (primary damaged)
+  int checkpoints_written = 0;
 };
 
 /// With a \p pool the starts run concurrently against one shared
@@ -150,13 +248,24 @@ struct ExhaustiveResult {
   int enumerated = 0;        ///< points evaluated (the paper's "76 schedules")
   int control_feasible = 0;  ///< of those, how many satisfied eq. (3)
   std::vector<std::pair<std::vector<int>, EvalOutcome>> all;  ///< full table
+  /// Anytime/checkpoint observability. On a cut-short run, `all`,
+  /// `enumerated` and best-so-far cover exactly the blocks reduced before
+  /// the budget fired — a bit-identical prefix of the full run's table.
+  core::StopReason stop = core::StopReason::completed;
+  bool resumed = false;
+  bool used_fallback = false;
+  int checkpoints_written = 0;
+  int unique_evaluations = 0;  ///< distinct points in the cache at return
 };
 
 /// Enumerate and evaluate every cheap-feasible point with dimensions
 /// \p dims, each value in [min_value, max_value]. With a \p pool the
 /// enumerated region is fanned across the workers and reduced serially in
 /// enumeration order, so the result (including the full `all` table) is
-/// bit-identical to the serial run.
+/// bit-identical to the serial run. The region is processed in fixed-size
+/// blocks through an internal EvalCache: opts.budget is consulted between
+/// blocks (and at pool chunk claims within one), opts.checkpoint_path
+/// arms table snapshots on that cache and resumes from an existing file.
 /// \throws std::invalid_argument if dims == 0.
 ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
                                    const CheapFeasible& cheap,

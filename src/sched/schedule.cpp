@@ -55,36 +55,53 @@ std::vector<std::size_t> PeriodicSchedule::task_sequence() const {
   return seq;
 }
 
+namespace {
+
+/// One shared rule set for the constructor and is_valid: returns the
+/// violated invariant's message, or nullptr when the pair is acceptable.
+const char* validate_error(const std::vector<Segment>& segments,
+                           std::size_t num_apps) noexcept {
+  if (segments.empty() || num_apps == 0) {
+    return "InterleavedSchedule: empty schedule";
+  }
+  for (const Segment& s : segments) {
+    if (s.count < 1) {
+      return "InterleavedSchedule: segment count < 1";
+    }
+    if (s.app >= num_apps) {
+      return "InterleavedSchedule: app out of range";
+    }
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::size_t next = (i + 1) % segments.size();
+    if (segments.size() > 1 && segments[i].app == segments[next].app) {
+      return "InterleavedSchedule: adjacent segments of the same app must be "
+             "merged";
+    }
+  }
+  std::vector<bool> used(num_apps, false);
+  for (const Segment& s : segments) used[s.app] = true;
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    if (!used[a]) {
+      return "InterleavedSchedule: every app must appear at least once";
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 InterleavedSchedule::InterleavedSchedule(std::vector<Segment> segments,
                                          std::size_t num_apps)
     : segments_(std::move(segments)), num_apps_(num_apps) {
-  if (segments_.empty() || num_apps_ == 0) {
-    throw std::invalid_argument("InterleavedSchedule: empty schedule");
+  if (const char* error = validate_error(segments_, num_apps_)) {
+    throw std::invalid_argument(error);
   }
-  for (const Segment& s : segments_) {
-    if (s.count < 1) {
-      throw std::invalid_argument("InterleavedSchedule: segment count < 1");
-    }
-    if (s.app >= num_apps_) {
-      throw std::invalid_argument("InterleavedSchedule: app out of range");
-    }
-  }
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    const std::size_t next = (i + 1) % segments_.size();
-    if (segments_.size() > 1 && segments_[i].app == segments_[next].app) {
-      throw std::invalid_argument(
-          "InterleavedSchedule: adjacent segments of the same app must be "
-          "merged");
-    }
-  }
-  std::vector<bool> used(num_apps_, false);
-  for (const Segment& s : segments_) used[s.app] = true;
-  for (std::size_t a = 0; a < num_apps_; ++a) {
-    if (!used[a]) {
-      throw std::invalid_argument(
-          "InterleavedSchedule: every app must appear at least once");
-    }
-  }
+}
+
+bool InterleavedSchedule::is_valid(const std::vector<Segment>& segments,
+                                   std::size_t num_apps) noexcept {
+  return validate_error(segments, num_apps) == nullptr;
 }
 
 InterleavedSchedule InterleavedSchedule::from_periodic(

@@ -65,6 +65,13 @@ public:
   ///         app (they should be merged).
   InterleavedSchedule(std::vector<Segment> segments, std::size_t num_apps);
 
+  /// True iff the constructor would accept (\p segments, \p num_apps).
+  /// Candidate generators (the interleaved neighbor moves) pre-check with
+  /// this instead of catching the constructor's std::invalid_argument, so
+  /// genuine argument bugs elsewhere are never silently swallowed.
+  static bool is_valid(const std::vector<Segment>& segments,
+                       std::size_t num_apps) noexcept;
+
   /// Lift a periodic schedule into segment form.
   static InterleavedSchedule from_periodic(const PeriodicSchedule& p);
 

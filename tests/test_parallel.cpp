@@ -147,8 +147,29 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                                    }
                                  }),
                std::runtime_error);
-  // The loop still completes every iteration before rethrowing.
-  EXPECT_EQ(ran.load(), 100);
+  // Fail-fast stops further chunk claims after the throw; how many bodies
+  // ran before it depends on scheduling, so only the propagation is pinned
+  // here — the short-circuit bound is pinned deterministically below.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForFailFastShortCircuitsRemainingChunks) {
+  // An immediate throw from the very first iteration must leave almost the
+  // whole index space unexecuted: workers observing the failure count
+  // their claimed chunks done without running the bodies. With chunk = 1
+  // the in-flight exposure is at most one iteration per participant.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(10000, 1,
+                                 [&](std::size_t) {
+                                   ran.fetch_add(1);
+                                   throw std::runtime_error("first");
+                                 }),
+               std::runtime_error);
+  // Every participant (4 workers + caller) can have claimed at most one
+  // chunk before observing the failure flag.
+  EXPECT_LE(ran.load(), 5);
 }
 
 TEST(ThreadPool, SerialFallbackHelperRunsInline) {
@@ -157,6 +178,70 @@ TEST(ThreadPool, SerialFallbackHelperRunsInline) {
     order.push_back(static_cast<int>(i));  // single-threaded: stays ordered
   });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForBudgetShortCircuitsRemainingChunks) {
+  // A budget that fires mid-loop stops further chunk claims without
+  // throwing: the loop returns normally with partial execution. Same
+  // one-in-flight-iteration bound as fail-fast.
+  ThreadPool pool(4);
+  RunBudget budget;
+  std::atomic<int> ran{0};
+  pool.parallel_for(
+      10000, 1,
+      [&](std::size_t) {
+        ran.fetch_add(1);
+        budget.request_stop();
+      },
+      &budget);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 5);  // 4 workers + caller, <= 1 body each
+  EXPECT_EQ(budget.reason(), core::StopReason::stop_requested);
+}
+
+TEST(ThreadPool, SerialParallelForChecksBudgetPerIteration) {
+  // The serial fallback checks the budget before every iteration, so an
+  // external stop cuts it off at the very next index.
+  RunBudget budget;
+  std::vector<int> order;
+  parallel_for(nullptr, 100, 4, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+    if (i == 2) budget.request_stop();
+  }, &budget);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, PreFiredBudgetRunsNothing) {
+  ThreadPool pool(2);
+  RunBudget budget;
+  budget.request_stop();
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, 1, [&](std::size_t) { ran.fetch_add(1); }, &budget);
+  parallel_for(nullptr, 64, 8, [&](std::size_t) { ran.fetch_add(1); }, &budget);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  // An exception thrown inside a nested parallel_for must propagate out of
+  // the inner loop into the outer body, fail-fast the outer loop, and
+  // surface to the caller — with every worker released (no deadlock).
+  ThreadPool pool(2);
+  std::atomic<int> outer_ran{0};
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t) {
+                                   outer_ran.fetch_add(1);
+                                   pool.parallel_for(8, [&](std::size_t j) {
+                                     if (j == 3) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+  EXPECT_GE(outer_ran.load(), 1);
+  // The pool must still be fully serviceable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(16, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16);
 }
 
 TEST(ThreadPool, SharedPoolExists) {
@@ -357,4 +442,36 @@ TEST(SerialParallelEquivalence, MultiStartHybridMatchesSerial) {
   // per-run split may differ under races, the sum never does).
   EXPECT_EQ(serial_sum, serial.search.total_unique_evaluations);
   EXPECT_EQ(parallel_sum, parallel.search.total_unique_evaluations);
+}
+
+// --------------------------------------------------- evaluator fault path
+
+TEST(EvaluatorFaults, InjectedDesignFaultPropagatesAndMemoStaysRetryable) {
+  // A fault thrown inside a pooled controller design must surface as
+  // FaultInjected through the worker threads without deadlocking, and the
+  // design memo's once-flag must not latch on the exceptional compute —
+  // the retried evaluation recomputes the entry and succeeds bit-identical
+  // to an undisturbed evaluator.
+  ThreadPool pool(4);
+  FaultPlan fault;
+  fault.fail_evaluation_at = 1;
+  EvaluatorOptions eopts;
+  eopts.fault = &fault;
+  Evaluator faulty(reduced_system(), fast_options(), &pool, eopts);
+  const sched::PeriodicSchedule rr({1, 1});
+  ASSERT_TRUE(faulty.idle_feasible(rr));
+  EXPECT_THROW(faulty.evaluate(rr), FaultInjected);
+
+  const auto retried = faulty.evaluate(rr);  // fault is one-shot
+
+  Evaluator clean(reduced_system(), fast_options(), &pool);
+  const auto reference = clean.evaluate(rr);
+  EXPECT_EQ(retried.pall, reference.pall);
+  EXPECT_EQ(retried.idle_feasible, reference.idle_feasible);
+  EXPECT_EQ(retried.control_feasible, reference.control_feasible);
+
+  // The pool survived the exceptional batch and still services work.
+  std::atomic<int> after{0};
+  pool.parallel_for(32, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 32);
 }

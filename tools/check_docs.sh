@@ -3,9 +3,10 @@
 #   * every src/<module>/ directory must be covered in docs/ARCHITECTURE.md
 #   * every bench/bench_*.cpp target must be covered in docs/BENCHMARKS.md
 #   * every tools/*.cpp developer tool must be covered in docs/ARCHITECTURE.md
-#   * docs/ARCHITECTURE.md must carry the "Test generation & fuzzing"
-#     section and docs/BENCHMARKS.md the fuzz_invariants sweep entry (the
-#     property-fuzzing surface must stay documented, not just listed)
+#   * docs/ARCHITECTURE.md must carry the "Test generation & fuzzing" and
+#     "Robustness & failure semantics" sections, docs/BENCHMARKS.md the
+#     fuzz_invariants sweep and bench_snapshot checkpoint-overhead entries
+#     (these surfaces must stay documented, not just listed)
 #   * README must link both documents
 # Exits non-zero listing everything missing, so adding a module or bench
 # without documenting it fails the build.
@@ -51,6 +52,14 @@ done
 
 if ! grep -q "Test generation & fuzzing" docs/ARCHITECTURE.md; then
   echo "check_docs: docs/ARCHITECTURE.md lacks the 'Test generation & fuzzing' section"
+  fail=1
+fi
+if ! grep -q "Robustness & failure semantics" docs/ARCHITECTURE.md; then
+  echo "check_docs: docs/ARCHITECTURE.md lacks the 'Robustness & failure semantics' section"
+  fail=1
+fi
+if ! grep -qw "bench_snapshot" docs/BENCHMARKS.md; then
+  echo "check_docs: the checkpoint-overhead bench is not documented in docs/BENCHMARKS.md"
   fail=1
 fi
 if ! grep -qw "fuzz_invariants" docs/BENCHMARKS.md; then

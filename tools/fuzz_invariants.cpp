@@ -13,7 +13,8 @@
 // Usage:
 //   fuzz_invariants [--seeds N] [--start S] [--search-stride K]
 //                   [--no-search] [--summary FILE] [--fast]
-//                   [--inject-failure] [--seed X]
+//                   [--max-seconds S] [--inject-failure]
+//                   [--inject-eval-fault] [--seed X]
 //
 //   --seeds N          sweep N consecutive seeds (default 100)
 //   --start S          first seed of the sweep (default 1)
@@ -22,8 +23,17 @@
 //   --no-search        skip the search tier entirely
 //   --summary FILE     additionally write the sweep summary to FILE
 //   --fast             bounded PR-matrix run: 8 seeds, stride 4
+//   --max-seconds S    wall-clock budget (core::RunBudget deadline,
+//                      checked between seeds): the sweep stops cleanly at
+//                      the deadline, reports how many seeds completed and
+//                      the StopReason, and exits 0 — an interrupted sweep
+//                      is a valid (anytime) sweep
 //   --inject-failure   self-test: assert a deliberately false invariant,
 //                      proving the failure path (seed print + shrink) works
+//   --inject-eval-fault  self-test: inject a controller-design fault
+//                      (core::FaultPlan) into a pooled evaluation, proving
+//                      the fault propagates as FaultInjected and the memo
+//                      entry stays retryable (the retried run succeeds)
 //   --seed X           replay one seed: generate twice, compare
 //                      fingerprints, run the full invariant surface
 //                      (searches included), print the report
@@ -35,6 +45,9 @@
 #include <sstream>
 #include <string>
 
+#include "core/codesign.hpp"
+#include "core/fault.hpp"
+#include "core/run_budget.hpp"
 #include "testgen/generator.hpp"
 #include "testgen/invariants.hpp"
 #include "testgen/shrink.hpp"
@@ -53,8 +66,10 @@ struct Args {
   std::uint64_t search_stride = 8;
   bool no_search = false;
   bool inject = false;
+  bool inject_eval_fault = false;
   bool replay = false;
   std::uint64_t replay_seed = 0;
+  double max_seconds = 0.0;
   std::string summary_file;
 };
 
@@ -92,8 +107,12 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--fast") {
       a.seeds = 8;
       a.search_stride = 4;
+    } else if (arg == "--max-seconds") {
+      a.max_seconds = std::atof(next().c_str());
     } else if (arg == "--inject-failure") {
       a.inject = true;
+    } else if (arg == "--inject-eval-fault") {
+      a.inject_eval_fault = true;
     } else if (arg == "--seed") {
       a.replay = true;
       a.replay_seed = parse_u64(next(), "--seed");
@@ -166,11 +185,61 @@ int replay(const Args& args) {
   return 0;
 }
 
+/// --inject-eval-fault self-test: arm a one-shot controller-design fault
+/// (core::FaultPlan) on a pooled evaluator and evaluate a generated
+/// system's round-robin schedule. The fault must surface as FaultInjected
+/// through the worker threads (no deadlock, no hang), and — because an
+/// exceptional compute never latches the memo's once-flag — the retried
+/// evaluation must succeed. Seeds are scanned until one is idle-feasible,
+/// since an infeasible schedule never reaches a controller design.
+int inject_eval_fault_selftest() {
+  const GeneratorConfig config;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const GeneratedSystem sys =
+        catsched::testgen::generate_system(config, seed);
+    catsched::core::ThreadPool pool(4);
+    catsched::core::FaultPlan fault;
+    fault.fail_evaluation_at = 1;
+    catsched::core::EvaluatorOptions eopts;
+    eopts.fault = &fault;
+    catsched::core::Evaluator ev(
+        sys.model, catsched::testgen::fuzz_design_options(), &pool, eopts);
+    const catsched::sched::PeriodicSchedule rr(
+        std::vector<int>(sys.model.apps.size(), 1));
+    if (!ev.idle_feasible(rr)) continue;
+
+    bool threw = false;
+    try {
+      ev.evaluate(rr);
+    } catch (const catsched::core::FaultInjected&) {
+      threw = true;
+    }
+    if (!threw) {
+      std::cout << "FAIL: injected design fault did not surface (seed "
+                << seed << ")\n";
+      return 1;
+    }
+    const auto out = ev.evaluate(rr);
+    if (!out.idle_feasible) {
+      std::cout << "FAIL: retried evaluation lost feasibility (seed " << seed
+                << ")\n";
+      return 1;
+    }
+    std::cout << "inject-eval-fault: OK (seed " << seed
+              << ": fault surfaced as FaultInjected, retried evaluation "
+                 "succeeded — memo entry not poisoned)\n";
+    return 0;
+  }
+  std::cout << "FAIL: no idle-feasible round-robin seed in [1, 32]\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.replay) return replay(args);
+  if (args.inject_eval_fault) return inject_eval_fault_selftest();
 
   const GeneratorConfig config;
   std::uint64_t passed = 0;
@@ -180,7 +249,14 @@ int main(int argc, char** argv) {
   std::uint64_t preemption_feasible = 0;
   std::uint64_t rr_feasible = 0;
 
+  // Anytime sweep: the wall-clock budget is checked between seeds, so a
+  // fired deadline ends the sweep cleanly after the current seed — every
+  // completed seed still counts and the exit stays 0.
+  catsched::core::RunBudget budget;
+  if (args.max_seconds > 0.0) budget.set_deadline_after(args.max_seconds);
+
   for (std::uint64_t i = 0; i < args.seeds; ++i) {
+    if (budget.cancelled()) break;
     const std::uint64_t seed = args.start + i;
     InvariantOptions opts = base_options(args);
     opts.check_searches = !args.no_search && args.search_stride > 0 &&
@@ -210,7 +286,14 @@ int main(int argc, char** argv) {
   summary << "catsched invariant fuzz summary\n"
           << "seeds: [" << args.start << ", " << args.start + args.seeds
           << ")\n"
-          << "systems passed: " << passed << "/" << args.seeds << "\n"
+          << "systems passed: " << passed << "/" << args.seeds << "\n";
+  if (args.max_seconds > 0.0) {
+    summary << "wall-clock budget: " << args.max_seconds
+            << "s, stop reason: "
+            << catsched::core::to_string(budget.reason()) << " (" << passed
+            << " seeds completed before the budget fired)\n";
+  }
+  summary
           << "context WCET strictly between warm and cold: " << context_strict
           << " (" << static_cast<double>(context_strict) * pct << "%)\n"
           << "search-identity tier ran on: " << searches_checked
