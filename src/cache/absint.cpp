@@ -80,6 +80,29 @@ AbstractCacheState::AbstractCacheState(const CacheConfig& config, Kind kind)
 
 void AbstractCacheState::access(std::uint64_t line) {
   LineAgeSet& set = sets_state_[set_of(line)];
+  if (kind_ == Kind::persistence) {
+    // Conflict-counter update: every OTHER tracked line of the set took one
+    // more conflicting access, saturating at the top (= ways). The sweep is
+    // unconditional (see the header for why the must-style conditional
+    // variant is unsound) with one certified exception: if the accessed
+    // line is tracked at age 0, the set's most recent access was this very
+    // line on every covered path, so it is already counted in every other
+    // line's bound and re-counting it would only lose precision (this is
+    // what keeps refetch bursts like a,a,b,b from saturating the set).
+    const std::uint32_t top = static_cast<std::uint32_t>(ways_);
+    LineAge* self = set.find(line);
+    if (self == nullptr || self->age != 0) {
+      for (LineAge& e : set) {
+        if (e.line != line && e.age < top) ++e.age;
+      }
+    }
+    if (self != nullptr) {
+      self->age = 0;
+    } else {
+      set.insert(line, 0);
+    }
+    return;
+  }
   if (ways_ == 1) {
     // Direct-mapped: whatever the prior contents, the accessed line evicts
     // every other tracked line (must holds at most one entry; in a may set
@@ -156,6 +179,33 @@ void AbstractCacheState::join(const AbstractCacheState& other) {
         }
       }
       mine.truncate(static_cast<std::size_t>(out - mine.begin()));
+    } else if (kind_ == Kind::persistence) {
+      // Union with MAXIMAL age (both are upper bounds on the conflict
+      // count). One-sided entries survive — on the path that never
+      // accessed the line the first-miss claim is vacuous — but their age
+      // is bumped to at least 1: age 0 must keep certifying "most recent
+      // access of this set on EVERY joined path" (access() skips its aging
+      // sweep on that certificate), and the untracked side cannot vouch.
+      if (mine.empty() && theirs.empty()) continue;
+      LineAgeSet merged;
+      const LineAge* a = mine.begin();
+      const LineAge* a_end = mine.end();
+      const LineAge* b = theirs.begin();
+      const LineAge* b_end = theirs.end();
+      while (a != a_end || b != b_end) {
+        if (b == b_end || (a != a_end && a->line < b->line)) {
+          merged.append(LineAge{a->line, std::max(a->age, 1u)});
+          ++a;
+        } else if (a == a_end || b->line < a->line) {
+          merged.append(LineAge{b->line, std::max(b->age, 1u)});
+          ++b;
+        } else {
+          merged.append(LineAge{a->line, std::max(a->age, b->age)});
+          ++a;
+          ++b;
+        }
+      }
+      mine = std::move(merged);
     } else {
       // Union with minimal (most optimistic) age: sorted merge into a
       // scratch set (the union can outgrow `mine`).
@@ -188,6 +238,16 @@ void AbstractCacheState::age_set(std::size_t set_index, std::uint32_t amount) {
   if (amount == 0) return;
   LineAgeSet& set = sets_state_[set_index];
   const std::uint32_t ways = static_cast<std::uint32_t>(ways_);
+  if (kind_ == Kind::persistence) {
+    // Saturating advance: conflict counters cap at the top (= ways) and
+    // entries are never dropped (a saturated line is simply no longer
+    // persistent; "tracked" must keep meaning "accessed at some point").
+    for (LineAge& e : set) {
+      e.age = (amount >= ways || e.age >= ways - amount) ? ways
+                                                         : e.age + amount;
+    }
+    return;
+  }
   // One compaction pass (same shape as access()): advance every bound,
   // drop entries that reach the associativity. Entries stay sorted by line
   // (ages change uniformly), so no re-sort is needed.
@@ -223,7 +283,10 @@ constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
 std::size_t AbstractCacheState::hash() const noexcept {
   // Entries are kept sorted per set, so iterating them yields a canonical
   // sequence: equal states (operator==) produce identical streams.
-  std::uint64_t h = 0x8f1bbcdcbfa53e0bull ^ (kind_ == Kind::must ? 1u : 2u);
+  const std::uint64_t kind_tag = kind_ == Kind::must  ? 1u
+                                 : kind_ == Kind::may ? 2u
+                                                      : 3u;
+  std::uint64_t h = 0x8f1bbcdcbfa53e0bull ^ kind_tag;
   h = hash_mix(h ^ sets_state_.size());
   for (std::size_t s = 0; s < sets_state_.size(); ++s) {
     for (const LineAge& e : sets_state_[s]) {
@@ -240,6 +303,8 @@ const char* to_string(Classification c) noexcept {
       return "AH";
     case Classification::always_miss:
       return "AM";
+    case Classification::first_miss:
+      return "FM";
     case Classification::not_classified:
       return "NC";
   }
@@ -248,17 +313,20 @@ const char* to_string(Classification c) noexcept {
 
 CachePair::CachePair(const CacheConfig& config)
     : must_(config, AbstractCacheState::Kind::must),
-      may_(config, AbstractCacheState::Kind::may) {}
+      may_(config, AbstractCacheState::Kind::may),
+      persistence_(config, AbstractCacheState::Kind::persistence) {}
 
 Classification CachePair::classify(std::uint64_t line) const noexcept {
   if (must_.contains(line)) return Classification::always_hit;
   if (!may_.contains(line)) return Classification::always_miss;
+  if (persistence_.persistent(line)) return Classification::first_miss;
   return Classification::not_classified;
 }
 
 void CachePair::access(std::uint64_t line) {
   must_.access(line);
   may_.access(line);
+  persistence_.access(line);
 }
 
 Classification CachePair::classify_and_access(std::uint64_t line) {
@@ -267,14 +335,21 @@ Classification CachePair::classify_and_access(std::uint64_t line) {
   return c;
 }
 
+void CachePair::reset_persistence() {
+  persistence_ =
+      AbstractCacheState(must_.config(), AbstractCacheState::Kind::persistence);
+}
+
 void CachePair::join(const CachePair& other) {
   must_.join(other.must_);
   may_.join(other.may_);
+  persistence_.join(other.persistence_);
 }
 
 std::size_t CachePair::hash() const noexcept {
-  const std::uint64_t hm = must_.hash();
-  return static_cast<std::size_t>(hm * 0x9e3779b97f4a7c15ull) ^ may_.hash();
+  const std::uint64_t phi = 0x9e3779b97f4a7c15ull;
+  std::uint64_t h = must_.hash() * phi ^ may_.hash();
+  return static_cast<std::size_t>(h * phi ^ persistence_.hash());
 }
 
 }  // namespace catsched::cache

@@ -3,9 +3,20 @@
 /// \brief Abstract-interpretation cache domains for set-associative LRU
 ///        caches: the classic must/may age analyses of Ferdinand & Wilhelm
 ///        (the technique behind the static WCET tools the paper cites as
-///        [12]/[13]). A must state underapproximates cache contents (line
-///        present => guaranteed hit); a may state overapproximates them
-///        (line absent => guaranteed miss).
+///        [12]/[13]) plus a persistence ("first-miss") domain. A must state
+///        underapproximates cache contents (line present => guaranteed
+///        hit); a may state overapproximates them (line absent =>
+///        guaranteed miss); a persistence state bounds, per tracked line,
+///        how many conflicting accesses hit its set since the line's last
+///        access — if that bound stays below the associativity the line can
+///        never have been evicted after a load, so every access point to it
+///        misses at most ONCE over the analyzed execution (the FM
+///        classification cache/static_wcet charges as one miss plus hits).
+///        The persistence state is RUN-LOCAL: every analysis starts it
+///        empty (cache/static_wcet resets it at entry), because "not
+///        accessed yet in this run" is true at the start of every run
+///        whatever the concrete entry cache holds — see the Kind doc below
+///        for why carrying it across runs would also break monotonicity.
 
 #include <array>
 #include <cstdint>
@@ -83,8 +94,39 @@ private:
 };
 
 /// One abstract cache state: per set, an age bound for every tracked line.
-/// Kind::must -> ages are upper bounds, join = intersection with max age.
-/// Kind::may  -> ages are lower bounds, join = union with min age.
+/// Kind::must        -> ages are upper bounds, join = intersection, max age.
+/// Kind::may         -> ages are lower bounds, join = union, min age.
+/// Kind::persistence -> ages are upper bounds on the number of OTHER-line
+///                      accesses that hit the line's set since the line's
+///                      last access, saturated at the associativity (the
+///                      domain top; values therefore span associativity+1
+///                      ages, 0..ways). Entries are never dropped — an
+///                      untracked line means "not yet accessed on any
+///                      covered path of THIS run", which is what makes the
+///                      first-miss claim per-execution rather than
+///                      per-scope, and why the state must start empty each
+///                      run: untracked is not the domain top (at joins a
+///                      one-sided entry keeps a small bump while a
+///                      tracked-at-top entry forces max = top), so an
+///                      entry state carried in from a previous run could
+///                      analyze LOOSER than the cold state and break the
+///                      warm <= context <= cold ordering. Join = union
+///                      with max age; a line tracked on only one side keeps
+///                      its age bumped to at least 1 (the untracked path
+///                      never accessed it, so the claim is vacuous there,
+///                      but the bump is load-bearing: access() skips its
+///                      aging sweep only for an age-0 line, which is sound
+///                      only if age 0 certifies "most recently accessed in
+///                      this set on EVERY path", see access()).
+///
+/// A line is *persistent* while its persistence age stays strictly below
+/// the associativity: fewer than `ways` distinct conflicting lines touched
+/// its set since its last access, so under LRU it cannot have been evicted
+/// since it was last loaded. Note the deliberately unconditional aging
+/// sweep: the classic must-style refinement (age only lines younger than
+/// the accessed line) is UNSOUND for persistence — with 2 ways and
+/// same-set lines x,y,z the trace z,x,y,z,x really misses twice on x, yet
+/// conditional aging would keep age(x) < 2 and wrongly certify it.
 ///
 /// Storage is flat (see LineAgeSet): the WCET fixpoint's access/join/==
 /// inner loops run over contiguous line/age pairs instead of std::map
@@ -92,7 +134,7 @@ private:
 /// (the dominant cost of loop fixpoints) plain memcpy-sized.
 class AbstractCacheState {
 public:
-  enum class Kind { must, may };
+  enum class Kind { must, may, persistence };
 
   /// Cold must-state over the default CacheConfig (for default-constructed
   /// result aggregates; real analyses always pass an explicit config).
@@ -107,28 +149,45 @@ public:
 
   /// Abstract LRU update for an access to \p line (Ferdinand's transfer
   /// functions: must ages lines strictly younger than the accessed line,
-  /// may ages lines at least as young).
+  /// may ages lines at least as young; persistence ages every other
+  /// tracked line of the set saturating at `ways` — unconditionally,
+  /// except that an access to a line already at age 0 ages nothing, since
+  /// age 0 proves the set's most recent access was this very line on every
+  /// covered path, so it is already counted in every other line's bound).
   void access(std::uint64_t line);
 
   /// Must: line is definitely cached. May: line is possibly cached.
+  /// Persistence: line was accessed on at least one covered path.
   bool contains(std::uint64_t line) const noexcept;
 
   /// Age bound of a line, or `ways` if not tracked.
   std::size_t age(std::uint64_t line) const noexcept;
 
+  /// Persistence only: the line was provably never evicted since it was
+  /// last loaded (its conflict bound never reached the associativity), so
+  /// any access point to it misses at most once over the analyzed run.
+  bool persistent(std::uint64_t line) const noexcept {
+    return kind_ == Kind::persistence &&
+           sets_state_[set_of(line)].find(line) != nullptr &&
+           age(line) < ways_;
+  }
+
   /// Join with another state of the same kind and configuration.
   /// \throws std::invalid_argument on kind/config mismatch.
   void join(const AbstractCacheState& other);
 
-  /// Age every tracked line of one set by \p amount, dropping lines whose
-  /// bound reaches the associativity. This is the interference transfer
-  /// function of the schedule-dependent WCET derivation (cache/
-  /// schedule_wcet): under LRU, `d` distinct conflicting lines inserted by
-  /// other programs age a surviving line by at most `d`, so aging a MUST
-  /// state by an upper bound on the interfering distinct-line count per set
-  /// keeps it a sound under-approximation. For a MAY state the caller must
-  /// instead guarantee \p amount is a lower bound on the interference
-  /// (aging a may line discards "possibly cached" facts).
+  /// Age every tracked line of one set by \p amount: must drops lines
+  /// whose bound reaches the associativity; persistence saturates them at
+  /// the top instead (entries are never dropped — a saturated line simply
+  /// stops being persistent). This is the interference transfer function
+  /// of the schedule-dependent WCET derivation (cache/schedule_wcet):
+  /// under LRU, `d` distinct conflicting lines inserted by other programs
+  /// age a surviving line by at most `d`, so aging a MUST state by an
+  /// upper bound on the interfering distinct-line count per set keeps it a
+  /// sound under-approximation, and the same count bounds the growth of a
+  /// persistence conflict counter. For a MAY state the caller must instead
+  /// guarantee \p amount is a lower bound on the interference (aging a may
+  /// line discards "possibly cached" facts).
   /// \throws std::out_of_range if set_index is not a valid set.
   void age_set(std::size_t set_index, std::uint32_t amount);
 
@@ -162,29 +221,40 @@ private:
 
 /// Static classification of one instruction-fetch access point.
 enum class Classification {
-  always_hit,     ///< in the must cache: guaranteed hit
-  always_miss,    ///< not in the may cache: guaranteed miss
-  not_classified  ///< neither: treated as a miss in WCET bounds
+  always_hit,      ///< in the must cache: guaranteed hit
+  always_miss,     ///< not in the may cache: guaranteed miss
+  /// Persistent but not guaranteed cached: the access point misses at most
+  /// once over the analyzed run (first-miss). The timing schema charges
+  /// it as a hit plus a one-time miss-minus-hit penalty — see
+  /// cache/static_wcet.
+  first_miss,
+  not_classified   ///< none of the above: treated as a miss in WCET bounds
 };
 
 const char* to_string(Classification c) noexcept;
 
-/// The must+may pair every analysis carries around.
+/// The must+may+persistence triple every analysis carries around (the
+/// static-WCET memo key — see StaticAnalysisMemo — so equality and hash
+/// cover all three components).
 class CachePair {
 public:
   /// Cold pair over the default CacheConfig (see AbstractCacheState()).
   CachePair() : CachePair(CacheConfig{}) {}
 
-  /// Cold pair (both states empty: nothing guaranteed, nothing possible).
-  /// "Cold" here means *no line of this program* can be cached -- the right
-  /// entry assumption both for a truly empty cache and for a cache filled by
-  /// other applications (the paper assumes no inter-application sharing).
+  /// Cold triple (all states empty: nothing guaranteed, nothing possible,
+  /// nothing ever accessed). "Cold" here means *no line of this program*
+  /// can be cached -- the right entry assumption both for a truly empty
+  /// cache and for a cache filled by other applications (the paper assumes
+  /// no inter-application sharing).
   explicit CachePair(const CacheConfig& config);
 
-  /// Classify an access *before* performing it.
+  /// Classify an access *before* performing it: AH (must), else AM (not in
+  /// may), else FM (persistent: not guaranteed cached now, but provably
+  /// never evicted since its last load, so it misses at most once over the
+  /// analyzed run), else NC.
   Classification classify(std::uint64_t line) const noexcept;
 
-  /// Perform the access on both states.
+  /// Perform the access on all three states.
   void access(std::uint64_t line);
 
   /// Classify, update, and return the classification in one step.
@@ -193,19 +263,32 @@ public:
   void join(const CachePair& other);
 
   /// Interference transfer for the schedule-dependent entry derivation:
-  /// age one set of the MUST state (see AbstractCacheState::age_set). The
-  /// may state is deliberately untouched — interference never inserts this
-  /// program's lines, so the "possibly cached" superset stays sound, and
-  /// only the must side feeds the cycle bound.
-  void age_must_set(std::size_t set_index, std::uint32_t amount) {
+  /// age one set of the MUST state (dropping evicted lines); see
+  /// AbstractCacheState::age_set. The may state is deliberately untouched
+  /// — interference never inserts this program's lines, so the "possibly
+  /// cached" superset stays sound, and may only affects AM/NC reporting,
+  /// never the cycle bound. The persistence state is untouched as well:
+  /// it is run-local (reset at every analysis entry, see
+  /// cache/static_wcet), so there is nothing interference could void.
+  void age_interference_set(std::size_t set_index, std::uint32_t amount) {
     must_.age_set(set_index, amount);
   }
 
+  /// Drop the whole persistence state back to "nothing accessed yet":
+  /// analyze_static_wcet calls this on its entry state so first-miss
+  /// guarantees are established per run — true for any concrete entry
+  /// cache — instead of being carried (and distorted, see the
+  /// AbstractCacheState kind doc) across runs.
+  void reset_persistence();
+
   const AbstractCacheState& must() const noexcept { return must_; }
   const AbstractCacheState& may() const noexcept { return may_; }
+  const AbstractCacheState& persistence() const noexcept {
+    return persistence_;
+  }
   const CacheConfig& config() const noexcept { return must_.config(); }
 
-  /// Combined hash of both abstract states (see AbstractCacheState::hash).
+  /// Combined hash of the three abstract states (AbstractCacheState::hash).
   std::size_t hash() const noexcept;
 
   bool operator==(const CachePair& other) const = default;
@@ -213,6 +296,7 @@ public:
 private:
   AbstractCacheState must_;
   AbstractCacheState may_;
+  AbstractCacheState persistence_;
 };
 
 /// Hash functor so CachePair can key std::unordered_map (the per-(app,

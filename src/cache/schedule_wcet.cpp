@@ -73,14 +73,15 @@ void age_through_interference(CachePair& state,
   for (std::size_t s = 0; s < footprint.lines_per_set.size(); ++s) {
     const std::size_t d = footprint.lines_per_set[s].size();
     if (d == 0) continue;
-    state.age_must_set(s, static_cast<std::uint32_t>(
-                              std::min<std::size_t>(d, UINT32_MAX)));
+    state.age_interference_set(s, static_cast<std::uint32_t>(
+                                      std::min<std::size_t>(d, UINT32_MAX)));
   }
 }
 
 ScheduleWcetAnalyzer::ScheduleWcetAnalyzer(
-    std::vector<StructuredProgram> programs, const CacheConfig& config)
-    : config_(config) {
+    std::vector<StructuredProgram> programs, const CacheConfig& config,
+    FirstMiss first_miss)
+    : config_(config), first_miss_(first_miss) {
   if (programs.empty()) {
     throw std::invalid_argument("ScheduleWcetAnalyzer: no programs");
   }
@@ -92,8 +93,8 @@ ScheduleWcetAnalyzer::ScheduleWcetAnalyzer(
   for (StructuredProgram& p : programs) {
     auto st = std::make_unique<AppState>();
     st->program = std::move(p);
-    st->steady =
-        analyze_static_steady_wcet(st->program, config_, &st->memo);
+    st->steady = analyze_static_steady_wcet(st->program, config_, &st->memo,
+                                            64, first_miss_);
     st->footprint = compute_footprint(st->program.root, config_);
     apps_.push_back(std::move(st));
   }
@@ -146,7 +147,8 @@ const ContextWcet& ScheduleWcetAnalyzer::compute_context_locked(
     }
     CachePair entry = st.steady.generic_exit;
     age_through_interference(entry, interference);
-    out.analysis = analyze_static_wcet(st.program, config_, entry, &st.memo);
+    out.analysis = analyze_static_wcet(st.program, config_, entry, &st.memo,
+                                       first_miss_);
     const std::uint64_t raw = out.analysis.wcet_cycles;
     const std::uint64_t warm = st.steady.warm.wcet_cycles;
     const std::uint64_t cold = st.steady.cold.wcet_cycles;

@@ -17,7 +17,11 @@
 ///      see cache/crpd); the may state is left untouched (interference
 ///      never inserts this app's lines, so "possibly cached" can only
 ///      shrink concretely — keeping the superset is sound, and may only
-///      affects AM/NC reporting, never the cycle bound);
+///      affects AM/NC reporting, never the cycle bound), and so is the
+///      persistence state — it is run-local (reset at every analysis
+///      entry, see cache/absint), which is precisely what makes its
+///      first-miss guarantees interference-proof: the one covered miss IS
+///      the re-fetch after whatever the interference evicted;
 ///   3. re-analyze the program from that entry state through the existing
 ///      analyze_static_wcet(program, entry, memo) path — the shared
 ///      per-app StaticAnalysisMemo turns repeated contexts into lookups.
@@ -64,9 +68,9 @@ void merge_footprint(CacheFootprint& into, const CacheFootprint& other);
 
 /// Entry-state derivation: age \p state's must component through the
 /// interference \p footprint — per set, by the number of distinct
-/// interfering lines (an upper bound on how much LRU aging the interferers
-/// can inflict on a surviving line). The may component is left unchanged
-/// (see the file header).
+/// interfering lines (an upper bound on how much LRU aging the
+/// interferers can inflict on a surviving line). The may and persistence
+/// components are left unchanged (see the file header).
 void age_through_interference(CachePair& state,
                               const CacheFootprint& footprint);
 
@@ -93,21 +97,29 @@ struct ContextWcet {
 /// into the context-sensitive derive_timing/expand_timing overloads.
 class ScheduleWcetAnalyzer final : public sched::ContextWcetLookup {
 public:
+  /// \p first_miss selects whether bounds may exploit the persistence
+  /// (first-miss) classification; FirstMiss::off reproduces the AM-only
+  /// bounds exactly (the walk is shared, see cache/static_wcet).
   /// \throws std::invalid_argument if \p programs is empty or num_apps
   ///         exceeds 64 (interference-mask width); std::runtime_error if
   ///         any program has no steady warm state.
   ScheduleWcetAnalyzer(std::vector<StructuredProgram> programs,
-                       const CacheConfig& config);
+                       const CacheConfig& config,
+                       FirstMiss first_miss = FirstMiss::on);
 
   /// Lift concrete worst-case-path traces (core::SystemModel's program
   /// images) into single-block structured programs. The analysis of a
   /// single path is exact, so cold/warm agree with the simulator's
-  /// analyze_wcet (gtest-enforced).
+  /// analyze_wcet (gtest-enforced) — and since a branch-free sequential
+  /// walk keeps every persistence counter at or above the corresponding
+  /// must age, first-miss never fires on lifted traces and the bounds are
+  /// bit-identical in both FirstMiss modes.
   static std::unique_ptr<ScheduleWcetAnalyzer> from_traces(
       const std::vector<Program>& programs, const CacheConfig& config);
 
   std::size_t num_apps() const noexcept { return apps_.size(); }
   const CacheConfig& config() const noexcept { return config_; }
+  FirstMiss first_miss() const noexcept { return first_miss_; }
 
   /// Cold/steady-warm analysis of one app (mask-independent base).
   const StaticSteadyWcet& base(std::size_t app) const;
@@ -156,6 +168,7 @@ private:
                                             std::uint64_t mask) const;
 
   CacheConfig config_;
+  FirstMiss first_miss_ = FirstMiss::on;
   /// unique_ptr elements: AppState holds a (non-movable) shared_mutex.
   std::vector<std::unique_ptr<AppState>> apps_;
   mutable std::atomic<std::uint64_t> context_requests_{0};

@@ -1,5 +1,6 @@
 #include "cache/static_wcet.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -9,23 +10,37 @@ namespace catsched::cache {
 
 namespace {
 
+/// Both cycle columns of one pass (see the header: `cycles` + one-time
+/// `penalty` is the first-miss composition, `am_cycles` the classic AM-only
+/// one), plus classification counts.
 struct PassCounts {
-  std::uint64_t cycles = 0;
+  std::uint64_t cycles = 0;     ///< FM-mode scalable column
+  std::uint64_t penalty = 0;    ///< one-time FM penalty: NEVER scaled
+  std::uint64_t am_cycles = 0;  ///< AM-only column (penalty-free)
   std::uint64_t ah = 0;
   std::uint64_t am = 0;
+  std::uint64_t fm = 0;
   std::uint64_t nc = 0;
 
   PassCounts& operator+=(const PassCounts& rhs) {
     cycles += rhs.cycles;
+    penalty += rhs.penalty;
+    am_cycles += rhs.am_cycles;
     ah += rhs.ah;
     am += rhs.am;
+    fm += rhs.fm;
     nc += rhs.nc;
     return *this;
   }
+  /// Loop steady-pass scaling: a first-miss point misses at most once over
+  /// the WHOLE execution, so its penalty is charged once per pass, not per
+  /// iteration — everything scales except `penalty`.
   PassCounts& scale(std::uint64_t n) {
     cycles *= n;
+    am_cycles *= n;
     ah *= n;
     am *= n;
+    fm *= n;
     nc *= n;
     return *this;
   }
@@ -46,13 +61,16 @@ PassCounts analyze_body(const Stmt& body, CachePair& state,
   StaticAnalysisMemo::Key key{&body, state};
   if (const StaticAnalysisMemo::SubtreeResult* cached = memo->find(key)) {
     state = cached->exit;
-    return PassCounts{cached->cycles, cached->always_hit, cached->always_miss,
+    return PassCounts{cached->cycles,     cached->fm_penalty,
+                      cached->am_only_cycles, cached->always_hit,
+                      cached->always_miss,    cached->first_miss,
                       cached->not_classified};
   }
   const PassCounts counts = analyze(body, state, config, memo);
-  memo->store(std::move(key),
-              StaticAnalysisMemo::SubtreeResult{counts.cycles, counts.ah,
-                                                counts.am, counts.nc, state});
+  memo->store(std::move(key), StaticAnalysisMemo::SubtreeResult{
+                                  counts.cycles, counts.penalty,
+                                  counts.am_cycles, counts.ah, counts.am,
+                                  counts.fm, counts.nc, state});
   return counts;
 }
 
@@ -68,14 +86,31 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
           case Classification::always_hit:
             ++out.ah;
             out.cycles += config.hit_cycles;
+            out.am_cycles += config.hit_cycles;
             break;
           case Classification::always_miss:
             ++out.am;
             out.cycles += config.miss_cycles;
+            out.am_cycles += config.miss_cycles;
             break;
+          case Classification::first_miss: {
+            // At most one real miss at this point over the whole
+            // execution: charge a hit in the scalable column and park the
+            // miss-hit difference in the one-time penalty (guarded so a
+            // degenerate miss <= hit configuration never underflows and
+            // never exceeds the AM-only charge).
+            ++out.fm;
+            const std::uint64_t base =
+                std::min(config.hit_cycles, config.miss_cycles);
+            out.cycles += base;
+            out.penalty += config.miss_cycles - base;
+            out.am_cycles += config.miss_cycles;
+            break;
+          }
           case Classification::not_classified:
             ++out.nc;
             out.cycles += config.miss_cycles;  // pessimistic for the bound
+            out.am_cycles += config.miss_cycles;
             break;
         }
       }
@@ -94,10 +129,22 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
       const PassCounts else_counts =
           analyze(stmt.children[1], else_state, config, memo);
       state.join(else_state);
-      // Timing schema: the bound takes the costlier arm (its classification
-      // counts are reported, since they are what the bound is made of).
-      return then_counts.cycles >= else_counts.cycles ? then_counts
-                                                      : else_counts;
+      // Timing schema: every column takes its own maximum. The scalable
+      // cycle columns and the one-time penalty must NOT be maxed jointly —
+      // k executions of the branch cost at most k*max(cycles) +
+      // max(penalty) whatever mix of arms runs, while max(cycles+penalty)
+      // under-counts the cycle-heavy arm once an enclosing loop scales it.
+      // Classification counts are reported from the costlier arm (they are
+      // what the scalable bound is made of); with no first-miss points the
+      // per-field max degenerates to exactly that arm's counts.
+      PassCounts picked = then_counts.cycles >= else_counts.cycles
+                              ? then_counts
+                              : else_counts;
+      picked.cycles = std::max(then_counts.cycles, else_counts.cycles);
+      picked.penalty = std::max(then_counts.penalty, else_counts.penalty);
+      picked.am_cycles =
+          std::max(then_counts.am_cycles, else_counts.am_cycles);
+      return picked;
     }
     case Stmt::Kind::loop: {
       // First iteration runs from the incoming state (cold misses happen
@@ -145,35 +192,64 @@ PassCounts analyze(const Stmt& stmt, CachePair& state,
 StaticWcetResult analyze_static_wcet(const StructuredProgram& program,
                                      const CacheConfig& config,
                                      const std::optional<CachePair>& entry,
-                                     StaticAnalysisMemo* memo) {
+                                     StaticAnalysisMemo* memo,
+                                     FirstMiss first_miss) {
   CachePair state = entry.value_or(CachePair(config));
+  // First-miss guarantees are per run: "not accessed yet" is true for
+  // every line at run start whatever the entry cache holds, and a
+  // persistence state carried across runs can analyze LOOSER than the
+  // cold one (see the AbstractCacheState kind doc), so each analysis
+  // starts the domain empty.
+  state.reset_persistence();
   const PassCounts counts = analyze(program.root, state, config, memo);
-  StaticWcetResult res{counts.cycles, counts.ah, counts.am, counts.nc,
-                       std::move(state)};
+  StaticWcetResult res;
+  res.am_only_cycles = counts.am_cycles;
+  if (first_miss == FirstMiss::on) {
+    // The reported bound is the tighter of the two independently sound
+    // compositions, so first-miss can never loosen it (see the header).
+    res.wcet_cycles =
+        std::min(counts.cycles + counts.penalty, counts.am_cycles);
+    res.fm_penalty_cycles = counts.penalty;
+    res.first_miss = counts.fm;
+    res.not_classified = counts.nc;
+  } else {
+    res.wcet_cycles = counts.am_cycles;
+    res.fm_penalty_cycles = 0;
+    res.first_miss = 0;
+    res.not_classified = counts.nc + counts.fm;
+  }
+  res.always_hit = counts.ah;
+  res.always_miss = counts.am;
+  res.exit_state = std::move(state);
   return res;
 }
 
 StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
                                       const CacheConfig& config,
-                                      StaticAnalysisMemo* memo) {
+                                      StaticAnalysisMemo* memo,
+                                      FirstMiss first_miss) {
   StaticAppWcet out;
-  out.cold = analyze_static_wcet(program, config, std::nullopt, memo);
-  out.warm = analyze_static_wcet(program, config, out.cold.exit_state, memo);
+  out.cold =
+      analyze_static_wcet(program, config, std::nullopt, memo, first_miss);
+  out.warm = analyze_static_wcet(program, config, out.cold.exit_state, memo,
+                                 first_miss);
   return out;
 }
 
 StaticSteadyWcet analyze_static_steady_wcet(const StructuredProgram& program,
                                             const CacheConfig& config,
                                             StaticAnalysisMemo* memo,
-                                            int max_iterations) {
+                                            int max_iterations,
+                                            FirstMiss first_miss) {
   StaticSteadyWcet out;
-  out.cold = analyze_static_wcet(program, config, std::nullopt, memo);
+  out.cold =
+      analyze_static_wcet(program, config, std::nullopt, memo, first_miss);
   out.generic_exit = out.cold.exit_state;
   CachePair entry = out.cold.exit_state;
   bool steady = false;
   for (int it = 0; it < max_iterations; ++it) {
     const StaticWcetResult pass =
-        analyze_static_wcet(program, config, entry, memo);
+        analyze_static_wcet(program, config, entry, memo, first_miss);
     out.warm_iterations = it + 1;
     out.generic_exit.join(pass.exit_state);
     // The warm bound must cover EVERY run >= 2 of a burst, whose entry is

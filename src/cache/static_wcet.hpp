@@ -1,10 +1,35 @@
 #pragma once
 /// \file static_wcet.hpp
 /// \brief Structural static WCET analysis: walk the program tree with
-///        abstract must/may cache states, classify every instruction fetch
-///        (AH/AM/NC), and compose a guaranteed execution-cycle upper bound
-///        with the classic timing schema (seq = sum, branch = max,
-///        loop = first iteration + (bound-1) x steady iteration).
+///        abstract must/may/persistence cache states, classify every
+///        instruction fetch (AH/AM/FM/NC), and compose a guaranteed
+///        execution-cycle upper bound with the classic timing schema
+///        (seq = sum, branch = max, loop = first iteration + (bound-1) x
+///        steady iteration).
+///
+/// First-miss accounting. An FM access point (persistent: provably never
+/// evicted since its last load — see cache/absint) misses at most once
+/// over the WHOLE execution, so it is charged a hit wherever it occurs
+/// plus a ONE-TIME miss-minus-hit penalty that is deliberately kept
+/// outside the scalable cycle column: loops scale their steady pass by
+/// (bound-1) but add the penalty once, which is what turns "n misses"
+/// into "1 miss + (n-1) hits" for a line that survives every iteration —
+/// including when the single real miss hides in a late iteration behind a
+/// branch, where charging the miss to the first iteration would be
+/// unsound. At branch joins the cycle and penalty columns take their
+/// maxima INDEPENDENTLY (per-field max): picking one arm by combined cost
+/// is unsound once an enclosing loop scales the cycle column, because the
+/// un-picked arm's cycles may dominate at higher iteration counts.
+///
+/// Because a per-field max can exceed the single-arm maximum the AM-only
+/// schema takes, the walk carries a second, penalty-free cycle column
+/// that reproduces the classic AM-only bound exactly, and the reported
+/// WCET is the minimum of the two compositions — so the persistence-aware
+/// bound is never looser than the AM-only one, by construction. The walk
+/// itself is mode-independent (both columns are always maintained, and
+/// classification never alters the abstract states), so one
+/// StaticAnalysisMemo serves FM-on and FM-off analyses interchangeably
+/// and the two modes are bit-identical wherever no FM point fires.
 ///
 /// This is the analysis-side counterpart of analyze_wcet() in wcet.hpp
 /// (which *simulates* one concrete trace): it bounds all paths, and its
@@ -45,17 +70,23 @@ public:
     stats_ = Stats{};
   }
 
-  /// Memoized subtree outcome: classification counts plus the exit state.
+  /// Memoized subtree outcome: both cycle columns (FM-mode cycles + one-
+  /// time penalty, and the AM-only composition), classification counts,
+  /// and the exit state. Mode-independent — see the file header — so one
+  /// memo serves FM-on and FM-off analyses of the same program.
   struct SubtreeResult {
-    std::uint64_t cycles = 0;
+    std::uint64_t cycles = 0;          ///< FM-mode scalable cycle column
+    std::uint64_t fm_penalty = 0;      ///< one-time (never scaled) penalty
+    std::uint64_t am_only_cycles = 0;  ///< classic AM-only composition
     std::uint64_t always_hit = 0;
     std::uint64_t always_miss = 0;
+    std::uint64_t first_miss = 0;
     std::uint64_t not_classified = 0;
     CachePair exit;
   };
 
   /// Analysis-internal lookup (the key pairs a statement address with the
-  /// entry state). Exposed for the analyzer only.
+  /// entry must/may/persistence triple). Exposed for the analyzer only.
   using Key = std::pair<const void*, CachePair>;
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
@@ -82,18 +113,34 @@ private:
   Stats stats_;
 };
 
+/// Whether the reported bound may exploit first-miss (persistence)
+/// classifications. The abstract walk is identical in both modes (see the
+/// file header); `off` reproduces the classic AM-only bound exactly, which
+/// is what the benches and invariants compare against.
+enum class FirstMiss { off, on };
+
 /// Outcome of one static analysis pass.
 struct StaticWcetResult {
   std::uint64_t wcet_cycles = 0;  ///< guaranteed upper bound on any path
+  /// The classic AM-only bound (every non-AH access charged a miss on
+  /// every occurrence). With FirstMiss::on, wcet_cycles =
+  /// min(FM composition, am_only_cycles) <= am_only_cycles; with
+  /// FirstMiss::off the two are equal.
+  std::uint64_t am_only_cycles = 0;
+  /// One-time first-miss penalty cycles folded into wcet_cycles (0 when
+  /// first-miss is off or never fires).
+  std::uint64_t fm_penalty_cycles = 0;
   /// Access classification counts over the worst-case composition (loop
-  /// bodies weighted by their iteration counts).
+  /// bodies weighted by their iteration counts). With FirstMiss::off,
+  /// first-miss points are reported as not_classified.
   std::uint64_t always_hit = 0;
   std::uint64_t always_miss = 0;
+  std::uint64_t first_miss = 0;
   std::uint64_t not_classified = 0;
   CachePair exit_state;  ///< abstract cache after the program
 
   std::uint64_t classified_accesses() const noexcept {
-    return always_hit + always_miss + not_classified;
+    return always_hit + always_miss + first_miss + not_classified;
   }
   double wcet_seconds(const CacheConfig& config) const noexcept {
     return static_cast<double>(wcet_cycles) * config.cycle_seconds();
@@ -111,7 +158,7 @@ struct StaticWcetResult {
 StaticWcetResult analyze_static_wcet(
     const StructuredProgram& program, const CacheConfig& config,
     const std::optional<CachePair>& entry = std::nullopt,
-    StaticAnalysisMemo* memo = nullptr);
+    StaticAnalysisMemo* memo = nullptr, FirstMiss first_miss = FirstMiss::on);
 
 /// Cold + warm analysis in one call: the warm pass re-analyzes the program
 /// starting from the cold pass's exit state, which is exactly the paper's
@@ -132,7 +179,8 @@ struct StaticAppWcet {
 /// are handed back instead of re-iterated.
 StaticAppWcet analyze_static_app_wcet(const StructuredProgram& program,
                                       const CacheConfig& config,
-                                      StaticAnalysisMemo* memo = nullptr);
+                                      StaticAnalysisMemo* memo = nullptr,
+                                      FirstMiss first_miss = FirstMiss::on);
 
 /// Convert to the scheduler-facing WCET pair (seconds).
 sched::AppWcet to_app_wcet(const StaticAppWcet& analysis,
@@ -170,6 +218,8 @@ struct StaticSteadyWcet {
 StaticSteadyWcet analyze_static_steady_wcet(const StructuredProgram& program,
                                             const CacheConfig& config,
                                             StaticAnalysisMemo* memo = nullptr,
-                                            int max_iterations = 64);
+                                            int max_iterations = 64,
+                                            FirstMiss first_miss =
+                                                FirstMiss::on);
 
 }  // namespace catsched::cache

@@ -44,8 +44,8 @@ struct EvaluatorOptions {
   /// FaultPlan::on_evaluation(), so an armed plan throws FaultInjected
   /// from inside whatever thread computes the design — a pool worker under
   /// a batching pool. Must outlive the evaluator; null = no injection.
-  /// A thrown fault leaves the design-memo entry retryable (compute-once
-  /// via std::call_once: an exceptional compute does not latch), so a
+  /// A thrown fault leaves the design-memo entry retryable (the memo's
+  /// compute-once protocol resets an exceptional compute to empty), so a
   /// caller that catches the failure can re-evaluate and succeed.
   FaultPlan* fault = nullptr;
 };

@@ -1,5 +1,6 @@
 #include "core/interleaved_codesign.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -168,8 +169,18 @@ std::vector<std::uint8_t> encode_interleaved_state(
     const std::unordered_map<std::string, const ScheduleEvaluation*>& seen) {
   SnapshotWriter w;
   w.put_u64(seen.size());
-  for (const auto& [key, eval] : seen) {
-    w.put_string(key);
+  // Emit in sorted key order: the payload bytes must not depend on the
+  // hash map's (implementation-defined) iteration order, so identical
+  // search states always produce identical snapshot files.
+  std::vector<const std::string*> keys;
+  keys.reserve(seen.size());
+  for (const auto& entry : seen)  // determinism-ok: sorted below
+    keys.push_back(&entry.first);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key : keys) {
+    const ScheduleEvaluation* eval = seen.at(*key);
+    w.put_string(*key);
     w.put_f64(eval->pall);
     w.put_u8(eval->idle_feasible ? 1 : 0);
     w.put_u8(eval->control_feasible ? 1 : 0);
@@ -248,7 +259,8 @@ InterleavedSearchResult interleaved_search(
   // into the resume overlay above (owned by this frame, never mutated).
   std::unordered_map<std::string, const ScheduleEvaluation*> seen;
   seen.reserve(overlay.size());
-  for (const auto& [key, eval] : overlay) seen.emplace(key, &eval);
+  for (const auto& [key, eval] : overlay)  // determinism-ok: order-free copy
+    seen.emplace(key, &eval);
 
   // Snapshots are written at the serial publish points only (so a
   // checkpoint never contains a half-published batch), every

@@ -172,8 +172,33 @@ public:
       entry = slot.get();
     }
     // Outside the shard lock: a slow compute must not serialize unrelated
-    // keys in the same shard.
-    std::call_once(entry->once, [&] { entry->value = fn(); });
+    // keys in the same shard. The once protocol is hand-rolled rather than
+    // std::call_once because a throwing compute must leave the entry
+    // retryable, and TSan's interceptor wedges an exceptionally-exited
+    // once_flag forever (every later call_once on it deadlocks — the
+    // fault-injection suites hit exactly that under -fsanitize=thread).
+    std::unique_lock<std::mutex> lock(entry->mu);
+    for (;;) {
+      if (entry->state == Entry::State::ready) return entry->value;
+      if (entry->state == Entry::State::empty) break;
+      entry->cv.wait(lock, [&] { return entry->state != Entry::State::running; });
+    }
+    entry->state = Entry::State::running;
+    lock.unlock();
+    try {
+      Value computed = fn();
+      lock.lock();
+      entry->value = std::move(computed);
+      entry->state = Entry::State::ready;
+    } catch (...) {
+      lock.lock();
+      entry->state = Entry::State::empty;  // exceptional compute: retryable
+      lock.unlock();
+      entry->cv.notify_all();
+      throw;
+    }
+    lock.unlock();
+    entry->cv.notify_all();
     return entry->value;
   }
 
@@ -189,7 +214,10 @@ public:
 
 private:
   struct Entry {
-    std::once_flag once;
+    enum class State { empty, running, ready };
+    std::mutex mu;
+    std::condition_variable cv;
+    State state = State::empty;
     Value value{};
   };
   struct Shard {

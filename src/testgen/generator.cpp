@@ -1,9 +1,12 @@
 #include "testgen/generator.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "cache/static_wcet.hpp"
 #include "cache/wcet.hpp"
 #include "testgen/rng.hpp"
 
@@ -31,6 +34,11 @@ void check_config(const GeneratorConfig& c) {
       c.min_loop_iterations < 1 ||
       c.max_loop_iterations < c.min_loop_iterations) {
     throw std::invalid_argument("generate_system: bad trace-shape range");
+  }
+  if (c.branchy_chance > 0.0 &&
+      (c.min_branchy_loop_bound < 2 ||
+       c.max_branchy_loop_bound < c.min_branchy_loop_bound)) {
+    throw std::invalid_argument("generate_system: bad branchy-loop range");
   }
 }
 
@@ -105,23 +113,79 @@ GeneratedSystem generate_system(const GeneratorConfig& config,
         lines.push_back(set + static_cast<std::uint64_t>(n + i) * sets);
       }
     }
-    const std::size_t refetches = static_cast<std::size_t>(rng.range(
-        static_cast<std::int64_t>(config.min_refetches),
-        static_cast<std::int64_t>(config.max_refetches)));
-    for (const std::uint64_t line : lines) {
-      for (std::size_t f = 0; f < refetches; ++f) {
-        app.program.trace.push_back(line);
-      }
+    // Branchy draw behind a short-circuit: at branchy_chance == 0 (the
+    // default) no RNG state is consumed, so pre-branchy seeds replay
+    // bit-identically.
+    bool branchy = false;
+    if (config.branchy_chance > 0.0) {
+      branchy = rng.chance(config.branchy_chance) && lines.size() >= 4;
     }
-    // Loop suffix: re-traverse [loop_start, end) a few times — warm
-    // executions hit these except where sets self-conflict.
-    const std::size_t loop_start = rng.index(lines.size());
-    const std::size_t iterations = static_cast<std::size_t>(rng.range(
-        static_cast<std::int64_t>(config.min_loop_iterations),
-        static_cast<std::int64_t>(config.max_loop_iterations)));
-    for (std::size_t it = 0; it < iterations; ++it) {
-      for (std::size_t j = loop_start; j < lines.size(); ++j) {
-        app.program.trace.push_back(lines[j]);
+    if (branchy) {
+      // Partition the footprint into a shared region (preamble + loop-body
+      // tail) and two disjoint branch-arm banks: inside the loop each arm's
+      // lines are accessed only on some paths, which is exactly where the
+      // persistence domain keeps what the must domain drops at the join.
+      const std::size_t shared_n = lines.size() / 2;
+      const std::size_t then_n = (lines.size() - shared_n) / 2;
+      std::vector<std::uint64_t> shared(lines.begin(),
+                                        lines.begin() + shared_n);
+      std::vector<std::uint64_t> then_bank(
+          lines.begin() + shared_n, lines.begin() + shared_n + then_n);
+      std::vector<std::uint64_t> else_bank(
+          lines.begin() + shared_n + then_n, lines.end());
+      const int bound = static_cast<int>(rng.range(
+          config.min_branchy_loop_bound, config.max_branchy_loop_bound));
+      std::vector<cache::Stmt> body;
+      body.push_back(cache::Stmt::branch(cache::Stmt::block(then_bank),
+                                         cache::Stmt::block(else_bank)));
+      body.push_back(cache::Stmt::block(shared));
+      std::vector<std::uint64_t> inner;
+      int inner_bound = 0;
+      if (rng.chance(config.nested_loop_chance)) {
+        inner.assign(shared.begin(),
+                     shared.begin() +
+                         std::min<std::size_t>(3, shared.size()));
+        inner_bound = static_cast<int>(rng.range(2, 3));
+        body.push_back(
+            cache::Stmt::loop(cache::Stmt::block(inner), inner_bound));
+      }
+      app.structured.name = app.name;
+      app.structured.root = cache::Stmt::seq(
+          {cache::Stmt::block(shared),
+           cache::Stmt::loop(cache::Stmt::seq(std::move(body)), bound)});
+      // Representative concrete path (Application::has_structured contract):
+      // the preamble, then every iteration taking the larger branch arm —
+      // a maximal-access path of the tree.
+      const std::vector<std::uint64_t>& big =
+          then_bank.size() >= else_bank.size() ? then_bank : else_bank;
+      const auto append = [&app](const std::vector<std::uint64_t>& v) {
+        app.program.trace.insert(app.program.trace.end(), v.begin(), v.end());
+      };
+      append(shared);
+      for (int it = 0; it < bound; ++it) {
+        append(big);
+        append(shared);
+        for (int k = 0; k < inner_bound; ++k) append(inner);
+      }
+    } else {
+      const std::size_t refetches = static_cast<std::size_t>(rng.range(
+          static_cast<std::int64_t>(config.min_refetches),
+          static_cast<std::int64_t>(config.max_refetches)));
+      for (const std::uint64_t line : lines) {
+        for (std::size_t f = 0; f < refetches; ++f) {
+          app.program.trace.push_back(line);
+        }
+      }
+      // Loop suffix: re-traverse [loop_start, end) a few times — warm
+      // executions hit these except where sets self-conflict.
+      const std::size_t loop_start = rng.index(lines.size());
+      const std::size_t iterations = static_cast<std::size_t>(rng.range(
+          static_cast<std::int64_t>(config.min_loop_iterations),
+          static_cast<std::int64_t>(config.max_loop_iterations)));
+      for (std::size_t it = 0; it < iterations; ++it) {
+        for (std::size_t j = loop_start; j < lines.size(); ++j) {
+          app.program.trace.push_back(lines[j]);
+        }
       }
     }
 
@@ -144,7 +208,15 @@ GeneratedSystem generate_system(const GeneratorConfig& config,
     raw_weights[i] = rng.real(0.5, 2.0);
     weight_sum += raw_weights[i];
 
-    cold_sum += cache::analyze_wcet(app.program, cc).cold_seconds;
+    // The same cold bound the searches will see (SystemModel::analyze_wcets
+    // uses the static all-paths analysis for structured apps), so the
+    // tidle >= 2 * cold_sum feasibility guarantee carries over.
+    if (app.has_structured()) {
+      cold_sum += cache::analyze_static_steady_wcet(app.structured, cc)
+                      .cold.wcet_seconds(cc);
+    } else {
+      cold_sum += cache::analyze_wcet(app.program, cc).cold_seconds;
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     out.model.apps[i].weight = raw_weights[i] / weight_sum;
@@ -186,6 +258,15 @@ private:
   std::uint64_t h_ = 14695981039346656037ull;
 };
 
+void hash_stmt(Fnv1a& h, const cache::Stmt& s) {
+  h.u64(static_cast<std::uint64_t>(s.kind));
+  h.u64(static_cast<std::uint64_t>(s.bound));
+  h.u64(s.lines.size());
+  for (const std::uint64_t line : s.lines) h.u64(line);
+  h.u64(s.children.size());
+  for (const cache::Stmt& c : s.children) hash_stmt(h, c);
+}
+
 void hash_matrix(Fnv1a& h, const linalg::Matrix& m) {
   h.u64(m.rows());
   h.u64(m.cols());
@@ -210,6 +291,12 @@ std::uint64_t system_fingerprint(const core::SystemModel& model) {
     h.str(a.name);
     h.u64(a.program.trace.size());
     for (const std::uint64_t line : a.program.trace) h.u64(line);
+    if (a.has_structured()) {
+      // Domain tag + tree; hashed ONLY when a tree is attached, so
+      // trace-only models keep their pre-branchy fingerprints.
+      h.u64(0xB2A9C417D1E5F063ull);
+      hash_stmt(h, a.structured.root);
+    }
     h.f64(a.weight);
     h.f64(a.smax);
     h.f64(a.tidle);

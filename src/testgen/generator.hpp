@@ -61,6 +61,23 @@ struct GeneratorConfig {
   std::size_t min_loop_iterations = 1;
   std::size_t max_loop_iterations = 3;
 
+  // --- branchy structured programs (the first-miss surface) ---
+  /// Chance that an app carries a structured control-flow image instead of
+  /// a plain linear trace: an if/else over disjoint line banks inside a
+  /// bounded loop (optionally with a nested inner loop). These are the
+  /// programs where the persistence domain's first-miss classification
+  /// tightens the WCET bound below the AM-only schema. The app's
+  /// `program.trace` is set to one concrete maximal-access path of the
+  /// tree, so replay-based checks keep working. At exactly 0 the feature is
+  /// off AND consumes no RNG draws, so every pre-existing seed replays
+  /// bit-identically.
+  double branchy_chance = 0.0;
+  /// Outer loop bound of a branchy program (>= 2 so first-miss has leverage).
+  int min_branchy_loop_bound = 3;
+  int max_branchy_loop_bound = 6;
+  /// Chance that a branchy program nests an inner loop in the outer body.
+  double nested_loop_chance = 0.5;
+
   // --- control-side parameter ranges (plant families from
   //     control/scenarios; see make_family_plant) ---
   double min_w0 = 80.0;
@@ -82,7 +99,10 @@ struct GeneratorConfig {
 /// One generated problem instance. `model` passes SystemModel::validate()
 /// and analyze_wcets() by construction (steady warm state is structural:
 /// a fixed trace replayed back-to-back reaches its per-set fixpoint after
-/// one pass).
+/// one pass, and structured apps go through the static analysis, which
+/// always stabilizes). With branchy_chance > 0 some apps carry a
+/// structured tree (Application::has_structured) next to their
+/// representative trace.
 struct GeneratedSystem {
   core::SystemModel model;
   std::uint64_t seed = 0;
@@ -98,11 +118,13 @@ GeneratedSystem generate_system(const GeneratorConfig& config,
                                 std::uint64_t seed);
 
 /// Structural FNV-1a fingerprint of a system model: cache configuration,
-/// every program trace, every control-side parameter and plant matrix
-/// entry (by IEEE bit pattern), fed byte-wise in a fixed little-endian
-/// order. Two models fingerprint equal iff the fuzz harness would treat
-/// them identically; the seed-replay regression test pins this across two
-/// in-process generations.
+/// every program trace, every structured control-flow tree (kind, bound,
+/// lines, children — recursively; hashed only for apps that carry one, so
+/// trace-only models fingerprint exactly as before), every control-side
+/// parameter and plant matrix entry (by IEEE bit pattern), fed byte-wise
+/// in a fixed little-endian order. Two models fingerprint equal iff the
+/// fuzz harness would treat them identically; the seed-replay regression
+/// test pins this across two in-process generations.
 std::uint64_t system_fingerprint(const core::SystemModel& model);
 
 }  // namespace catsched::testgen

@@ -167,6 +167,89 @@ InvariantReport check_invariants(const core::SystemModel& model,
     }
   }
 
+  // ---------------------- A2. first-miss (persistence) soundness surface
+  {
+    std::vector<cache::StructuredProgram> lifted;
+    lifted.reserve(n);
+    for (const core::Application& a : model.apps) {
+      lifted.push_back(a.has_structured()
+                           ? a.structured
+                           : cache::StructuredProgram{
+                                 a.program.name,
+                                 cache::Stmt::block(a.program.trace)});
+    }
+    // FM-off twin: the abstract walk is mode-independent, so its cold
+    // bound must equal the FM analyzer's AM-only column bit-for-bit, and
+    // its warm bound can never be tighter than the FM one.
+    const cache::ScheduleWcetAnalyzer am_only(lifted, model.cache_config,
+                                              cache::FirstMiss::off);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cache::StaticSteadyWcet& on = analyzer->base(i);
+      const cache::StaticSteadyWcet& off = am_only.base(i);
+      const bool ok = on.cold.wcet_cycles <= on.cold.am_only_cycles &&
+                      on.warm.wcet_cycles <= on.warm.am_only_cycles &&
+                      off.cold.wcet_cycles == on.cold.am_only_cycles &&
+                      off.warm.wcet_cycles >= on.warm.wcet_cycles;
+      if (!fail.require(ok, "fm-le-am", loc(i, 0))) return rep;
+      if (model.apps[i].has_structured()) {
+        ++rep.fm_apps;
+        const std::uint64_t d =
+            (off.cold.wcet_cycles - on.cold.wcet_cycles) +
+            (off.warm.wcet_cycles - on.warm.wcet_cycles);
+        if (d > 0) ++rep.fm_tightened_apps;
+        rep.fm_reduction_cycles += d;
+      }
+      // Memo on/off bit identity: a memo-free re-analysis reproduces the
+      // analyzer's (memoized) base exactly.
+      const cache::StaticSteadyWcet fresh =
+          cache::analyze_static_steady_wcet(lifted[i], model.cache_config);
+      if (!fail.require(fresh.cold.wcet_cycles == on.cold.wcet_cycles &&
+                            fresh.warm.wcet_cycles == on.warm.wcet_cycles &&
+                            fresh.cold.am_only_cycles ==
+                                on.cold.am_only_cycles,
+                        "fm-memo", loc(i, 0))) {
+        return rep;
+      }
+      // Sampled concrete paths of a structured program never exceed the
+      // FM bound: cold runs against the cold bound, and any second run of
+      // a back-to-back pair against the warm bound.
+      if (model.apps[i].has_structured()) {
+        const auto paths = cache::sample_paths(
+            model.apps[i].structured.root, 6,
+            static_cast<std::uint32_t>(seed ^ (0x5bd1e995ull * (i + 1))));
+        for (const auto& path : paths) {
+          cache::Program p;
+          p.name = "sampled-path";
+          p.trace = path;
+          const cache::WcetResult w =
+              cache::analyze_wcet(p, model.cache_config, 1);
+          std::ostringstream os;
+          os << loc(i, 0) << ": cold path replay " << w.cold_cycles
+             << " cycles > FM cold bound " << on.cold.wcet_cycles;
+          if (!fail.require(w.cold_cycles <= on.cold.wcet_cycles,
+                            "fm-replay", os.str())) {
+            return rep;
+          }
+        }
+        if (paths.size() >= 2) {
+          std::vector<cache::Program> pp(2);
+          pp[0].name = pp[1].name = "sampled-path";
+          pp[0].trace = paths[0];
+          pp[1].trace = paths[1];
+          const std::vector<cache::TaskExecution> execs =
+              cache::simulate_task_sequence(pp, {0, 1, 0},
+                                            model.cache_config);
+          if (!fail.require(execs[1].cycles <= on.warm.wcet_cycles &&
+                                execs[2].cycles <= on.warm.wcet_cycles,
+                            "fm-replay",
+                            loc(i, 0) + ": warm path pair exceeds bound")) {
+            return rep;
+          }
+        }
+      }
+    }
+  }
+
   // ------------------------- B. context ordering / monotonicity / inject
   const std::uint64_t all_masks = (std::uint64_t{1} << n);
   for (std::size_t app = 0; app < n; ++app) {

@@ -71,10 +71,17 @@ struct InvariantReport {
   bool rr_feasible = false;
   double best_periodic_pall = 0.0;
   double best_interleaved_pall = 0.0;
+
+  // First-miss (persistence) surface, for the nightly tightening rate:
+  std::size_t fm_apps = 0;            ///< apps carrying a structured tree
+  std::size_t fm_tightened_apps = 0;  ///< of those, FM bound < AM-only bound
+  /// Summed (cold + warm) cycle reduction of FM-on vs FM-off across apps.
+  std::uint64_t fm_reduction_cycles = 0;
 };
 
 /// Check ids, in execution order (groups early-exit on first failure):
-///   wcet-pair, wcet-ordering, injected-context-below-warm,
+///   wcet-pair, analyzer-base, fm-le-am, fm-memo, fm-replay,
+///   wcet-ordering, injected-context-below-warm,
 ///   wcet-monotonic, replay-bound, timing-cold-fallback,
 ///   timing-schedule-vs-seq, timing-delta, edf-util, edf-vs-rta,
 ///   rta-crpd-monotone, preemptive-timing, neighbor-eval,

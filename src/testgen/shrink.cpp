@@ -48,8 +48,29 @@ ShrinkResult shrink_system(const core::SystemModel& start,
       }
     }
 
-    // Pass 2: halve traces (the "segments" of a generated program).
+    // Pass 2: drop structured control-flow trees (keeping the
+    // representative trace, which stays a valid program on its own) — a
+    // failure that survives on the plain trace is much easier to read.
     for (core::Application& app : res.model.apps) {
+      if (!app.has_structured()) continue;
+      core::SystemModel candidate = res.model;
+      for (core::Application& c : candidate.apps) {
+        if (c.name == app.name) {
+          c.structured = cache::StructuredProgram{};
+          break;
+        }
+      }
+      if (reproduces(candidate)) {
+        app.structured = cache::StructuredProgram{};
+        progress = true;
+      }
+    }
+
+    // Pass 3: halve traces (the "segments" of a generated program).
+    // Structured apps are skipped: their trace must remain one concrete
+    // path of the tree, which a blind resize would break.
+    for (core::Application& app : res.model.apps) {
+      if (app.has_structured()) continue;
       while (app.program.trace.size() > 4) {
         core::SystemModel candidate = res.model;
         for (core::Application& c : candidate.apps) {
@@ -66,7 +87,7 @@ ShrinkResult shrink_system(const core::SystemModel& start,
       }
     }
 
-    // Pass 3: halve the cache's set count (ways fixed).
+    // Pass 4: halve the cache's set count (ways fixed).
     while (res.model.cache_config.num_lines % 2 == 0 &&
            res.model.cache_config.num_lines / 2 >=
                res.model.cache_config.ways() &&

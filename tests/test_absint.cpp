@@ -118,14 +118,154 @@ TEST(CachePairClassify, ColdAccessIsAlwaysMiss) {
   EXPECT_EQ(pair.classify(5), Classification::always_hit);
 }
 
-TEST(CachePairClassify, JoinOfDivergentPathsGivesNotClassified) {
+TEST(CachePairClassify, JoinOfDivergentPathsGivesFirstMissWhenAssociative) {
   const CacheConfig cfg = small_cache(8, 2);
   CachePair then_path(cfg);
   CachePair else_path(cfg);
   then_path.access(1);  // line 1 cached only on the then-path
   then_path.join(else_path);
-  // After the join, 1 is possible (may) but not guaranteed (must).
+  // After the join, 1 is possible (may) but not guaranteed (must) — yet the
+  // persistence domain keeps the one-sided entry at bumped age 1 < 2 ways,
+  // so the access point is provably a first-miss, not unclassifiable.
+  EXPECT_EQ(then_path.classify(1), Classification::first_miss);
+}
+
+TEST(CachePairClassify, JoinOfDivergentPathsDirectMappedStaysNotClassified) {
+  // Direct-mapped: the one-sided join bump max(age, 1) already reaches the
+  // associativity, so persistence cannot rescue the classification.
+  const CacheConfig cfg = small_cache(8, 1);
+  CachePair then_path(cfg);
+  CachePair else_path(cfg);
+  then_path.access(1);
+  then_path.join(else_path);
   EXPECT_EQ(then_path.classify(1), Classification::not_classified);
+}
+
+// --------------------------------------------------------------------------
+// Persistence ("first-miss") domain pins. The load-bearing design decisions:
+// unconditional +1 aging of other tracked lines (conditional aging is
+// unsound, see the z,x,y,z,x counterexample below), saturation-without-drop
+// under age_set, the one-sided join bump, and run-local reset.
+
+TEST(Persistence, UnconditionalAgingRejectsDoubleMissingLine) {
+  // 2-way, one set; z=0, x=2, y=4 all map to set 0. The concrete LRU trace
+  // z,x,y,z,x misses on x TWICE (y evicts z, the z re-fetch evicts x), so
+  // the final x access must NOT be classified first_miss. A "conditional"
+  // persistence aging (only age lines younger than the accessed one) would
+  // unsoundly keep x persistent here.
+  CachePair pair(small_cache(2, 2));
+  pair.access(0);  // z
+  pair.access(2);  // x
+  pair.access(4);  // y
+  pair.access(0);  // z again
+  EXPECT_FALSE(pair.persistence().persistent(2));
+  const Classification c = pair.classify(2);
+  EXPECT_NE(c, Classification::first_miss);
+  EXPECT_NE(c, Classification::always_hit);
+}
+
+TEST(Persistence, AccessAtAgeZeroAgesNothing) {
+  // Age 0 proves the set's most recent access was this very line on every
+  // covered path, so a repeat access adds no new conflicts to other lines.
+  AbstractCacheState pers(small_cache(2, 2),
+                          AbstractCacheState::Kind::persistence);
+  pers.access(0);
+  pers.access(2);  // 0 -> age 1, 2 -> age 0
+  pers.access(2);  // MRU repeat: 0 must stay at 1
+  EXPECT_EQ(pers.age(0), 1u);
+  EXPECT_EQ(pers.age(2), 0u);
+  EXPECT_TRUE(pers.persistent(0));
+}
+
+TEST(Persistence, JoinBumpsOneSidedEntriesToAgeOne) {
+  const CacheConfig cfg = small_cache(8, 2);
+  AbstractCacheState a(cfg, AbstractCacheState::Kind::persistence);
+  const AbstractCacheState b(cfg, AbstractCacheState::Kind::persistence);
+  a.access(3);
+  EXPECT_EQ(a.age(3), 0u);
+  a.join(b);
+  // One-sided entries survive the union but take the defensive +1 bump:
+  // the other path may have touched the set once without us tracking it.
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_EQ(a.age(3), 1u);
+  EXPECT_TRUE(a.persistent(3));
+}
+
+TEST(Persistence, AgeSetSaturatesWithoutDropping) {
+  const CacheConfig cfg = small_cache(8, 2);
+  AbstractCacheState pers(cfg, AbstractCacheState::Kind::persistence);
+  pers.access(3);
+  pers.age_set(3 % cfg.num_sets(), 10);  // far beyond the associativity
+  // Unlike must (which evicts), persistence saturates at the top and keeps
+  // the entry: the line stays "accessed on some path", just not persistent.
+  EXPECT_TRUE(pers.contains(3));
+  EXPECT_EQ(pers.age(3), cfg.ways());
+  EXPECT_FALSE(pers.persistent(3));
+}
+
+TEST(Persistence, ResetPersistenceClearsOnlyPersistence) {
+  CachePair pair(small_cache(8, 2));
+  pair.access(1);
+  pair.access(2);
+  pair.reset_persistence();
+  EXPECT_EQ(pair.persistence().tracked_lines(), 0u);
+  // Must and may facts are untouched: 1 is still a guaranteed hit.
+  EXPECT_TRUE(pair.must().contains(1));
+  EXPECT_EQ(pair.classify(1), Classification::always_hit);
+}
+
+/// Empirical first-miss soundness across joins: classify against the join
+/// of two abstract path states, then replay the common suffix on BOTH
+/// concrete caches. A concrete MISS at an access point classified
+/// first_miss implies the line was provably never evicted since its last
+/// load on every covered path — so the miss can only be the line's very
+/// first access of that execution.
+TEST(AbsintSoundness, FirstMissPointsMissAtMostOncePerExecution) {
+  const CacheConfig cfg = small_cache(8, 2);
+  std::mt19937 rng(424242);
+  std::uniform_int_distribution<std::uint64_t> addr(0, 15);
+
+  int checked_fm = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    CacheSim sim_a(cfg);
+    CacheSim sim_b(cfg);
+    CachePair pair_a(cfg);
+    CachePair pair_b(cfg);
+    std::vector<int> accessed_a(16, 0);
+    std::vector<int> accessed_b(16, 0);
+    for (int i = 0; i < 12; ++i) {
+      const std::uint64_t la = addr(rng);
+      const std::uint64_t lb = addr(rng);
+      pair_a.access(la);
+      sim_a.access(la);
+      ++accessed_a[la];
+      pair_b.access(lb);
+      sim_b.access(lb);
+      ++accessed_b[lb];
+    }
+    pair_a.join(pair_b);
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t line = addr(rng);
+      const Classification c = pair_a.classify_and_access(line);
+      const bool hit_a = sim_a.access(line);
+      const bool hit_b = sim_b.access(line);
+      if (c == Classification::first_miss) {
+        ++checked_fm;
+        if (!hit_a) {
+          ASSERT_EQ(accessed_a[line], 0)
+              << "unsound FM (exec A), trial " << trial << " line " << line;
+        }
+        if (!hit_b) {
+          ASSERT_EQ(accessed_b[line], 0)
+              << "unsound FM (exec B), trial " << trial << " line " << line;
+        }
+      }
+      ++accessed_a[line];
+      ++accessed_b[line];
+    }
+  }
+  // The sweep must actually exercise the first-miss classification.
+  EXPECT_GT(checked_fm, 0);
 }
 
 struct SoundnessParams {

@@ -523,6 +523,95 @@ TEST(Analyzer, MemoHitDeterminismAcrossThreads) {
   }
 }
 
+/// Three branchy structured apps on 8 sets x 2 ways whose arm lines never
+/// enter the must state: first-miss genuinely fires. Each app keeps its
+/// own lines in distinct sets (so persistence survives within a run) while
+/// apps 0 and 2 collide set-wise (so interference masks matter).
+std::vector<cache::StructuredProgram> branchy_fm_programs() {
+  std::vector<cache::StructuredProgram> programs;
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    const std::uint64_t b = 4 * a;
+    cache::StructuredProgram p;
+    p.name = "fm-app";
+    p.root = cache::Stmt::loop(
+        cache::Stmt::seq(
+            {cache::Stmt::branch(cache::Stmt::block({b}),
+                                 cache::Stmt::block({b + 1})),
+             cache::Stmt::block({b + 2, b + 3})}),
+        4);
+    programs.push_back(std::move(p));
+  }
+  return programs;
+}
+
+TEST(Analyzer, FirstMissTightensEveryContextAndPreservesOrdering) {
+  const cache::CacheConfig c = cfg(16, 2);
+  const auto programs = branchy_fm_programs();
+  const cache::ScheduleWcetAnalyzer on(programs, c, cache::FirstMiss::on);
+  const cache::ScheduleWcetAnalyzer off(programs, c, cache::FirstMiss::off);
+  for (std::size_t app = 0; app < 3; ++app) {
+    // First-miss really fires and strictly tightens the base bounds.
+    EXPECT_GT(on.base(app).cold.first_miss, 0u);
+    EXPECT_LT(on.base(app).cold.wcet_cycles,
+              off.base(app).cold.wcet_cycles);
+    for (std::uint64_t mask = 0; mask < 8; ++mask) {
+      const auto& ctx_on = on.analyze_context(app, mask);
+      const auto& ctx_off = off.analyze_context(app, mask);
+      // FM never loosens a context, and the AM-only column is mode-free.
+      EXPECT_LE(ctx_on.cycles, ctx_off.cycles) << app << "/" << mask;
+      EXPECT_EQ(ctx_on.analysis.am_only_cycles,
+                ctx_off.analysis.am_only_cycles)
+          << app << "/" << mask;
+      // warm <= context <= cold holds WITHOUT the defensive clamp in both
+      // modes (run-local persistence keeps the derivation monotone).
+      EXPECT_TRUE(ctx_on.naturally_ordered) << app << "/" << mask;
+      EXPECT_TRUE(ctx_off.naturally_ordered) << app << "/" << mask;
+      EXPECT_LE(on.base(app).warm.wcet_cycles, ctx_on.cycles);
+      EXPECT_LE(ctx_on.cycles, on.base(app).cold.wcet_cycles);
+    }
+  }
+}
+
+TEST(Analyzer, FirstMissContextsBitIdenticalAcrossThreadCounts) {
+  const cache::CacheConfig c = cfg(16, 2);
+  const auto programs = branchy_fm_programs();
+  // Serial reference values, FM on (the default mode the system ships).
+  const cache::ScheduleWcetAnalyzer ref(programs, c);
+  const ContextWcetTable ref_table = ref.full_table();
+
+  for (const int threads : {1, 2, 4}) {
+    const cache::ScheduleWcetAnalyzer analyzer(programs, c);
+    std::vector<std::thread> workers;
+    std::vector<int> mismatches(static_cast<std::size_t>(threads), 0);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::mt19937 trng(static_cast<std::uint32_t>(13 * t + 5));
+        std::vector<std::pair<std::size_t, std::uint64_t>> pairs;
+        for (std::size_t app = 0; app < 3; ++app) {
+          for (std::uint64_t mask = 0; mask < 8; ++mask) {
+            if ((mask >> app) & 1u) continue;
+            pairs.emplace_back(app, mask);
+            pairs.emplace_back(app, mask);
+          }
+        }
+        std::shuffle(pairs.begin(), pairs.end(), trng);
+        for (const auto& [app, mask] : pairs) {
+          const double v = analyzer.context_wcet_seconds(app, mask);
+          const double expect = ref_table.context_wcet_seconds(app, mask);
+          if (!same_bits(v, expect)) ++mismatches[static_cast<std::size_t>(t)];
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (int t = 0; t < threads; ++t) {
+      EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
+          << threads << " threads, worker " << t;
+    }
+    const auto stats = analyzer.stats();
+    EXPECT_EQ(stats.context_analyses, 12u) << threads << " threads";
+  }
+}
+
 // ------------------------------------------- evaluator and search modes
 
 /// Two apps with PARTIALLY overlapping footprints on the paper's

@@ -137,6 +137,9 @@ TEST(StaticWcet, ConflictingLoopLinesNeverBecomeHits) {
   const CacheConfig c = cfg(8, 1);
   const StaticWcetResult r = analyze_static_wcet(p, c);
   EXPECT_EQ(r.always_hit, 0u);
+  // Persistence must not rescue self-conflicting lines either: each access
+  // evicts the other line, so neither is ever first-miss.
+  EXPECT_EQ(r.first_miss, 0u);
   EXPECT_EQ(r.wcet_cycles, 8u * c.miss_cycles);
 }
 
@@ -179,6 +182,116 @@ TEST(StaticWcet, WarmReductionMatchesSimulatorOnBranchFreePrograms) {
                                                    c, 4);
     EXPECT_GE(stat.cold.wcet_cycles, sim.cold_cycles) << "seed " << seed;
     EXPECT_GE(stat.warm.wcet_cycles, sim.warm_cycles) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------------------------------------
+// First-miss (persistence) pins: the branchy-loop shapes the must/may
+// domains alone cannot tighten. The classification and both cycle columns
+// (FM composition and AM-only) are pinned exactly.
+
+TEST(FirstMiss, BranchyLoopChargesEachArmLineOneMissThenHits) {
+  // loop(4) { if (c) {a=0} else {b=1}; {2, 3} } on 8 sets x 2 ways: no two
+  // lines share a set, yet neither arm line ever enters the must state
+  // (each is absent from the other arm's path). AM-only charges the arm
+  // access a miss in EVERY iteration; persistence proves each arm line
+  // misses at most once over the run, so iterations 2..4 charge a hit plus
+  // a single one-time penalty.
+  StructuredProgram p;
+  p.name = "branchy";
+  p.root = Stmt::loop(
+      Stmt::seq({Stmt::branch(Stmt::block({0}), Stmt::block({1})),
+                 Stmt::block({2, 3})}),
+      4);
+  const CacheConfig c = cfg(16, 2);  // 8 sets x 2 ways
+  const StaticWcetResult r = analyze_static_wcet(p, c);
+  EXPECT_EQ(r.always_miss, 3u);   // iteration 1: arm + both shared lines
+  EXPECT_EQ(r.always_hit, 6u);    // shared lines, iterations 2..4
+  EXPECT_EQ(r.first_miss, 3u);    // the arm access, iterations 2..4
+  EXPECT_EQ(r.not_classified, 0u);
+  EXPECT_EQ(r.fm_penalty_cycles, c.miss_cycles - c.hit_cycles);
+  EXPECT_EQ(r.am_only_cycles, 6u * c.miss_cycles + 6u * c.hit_cycles);
+  EXPECT_EQ(r.wcet_cycles, 4u * c.miss_cycles + 8u * c.hit_cycles);
+  EXPECT_LT(r.wcet_cycles, r.am_only_cycles);
+
+  // Differential: the FM bound is not just sound but EXACT here — the
+  // worst concrete path (alternating arms: a and b each miss once) costs
+  // exactly the bound.
+  std::uint64_t worst_sim = 0;
+  for (const auto& path : enumerate_paths(p.root, 4096)) {
+    CacheSim sim(c);
+    worst_sim = std::max(worst_sim, sim.run_trace(path));
+  }
+  EXPECT_EQ(r.wcet_cycles, worst_sim);
+}
+
+TEST(FirstMiss, NeverLoosensAndOffModeReproducesAmOnly) {
+  using catsched::cache::FirstMiss;
+  using catsched::cache::StaticAnalysisMemo;
+  for (const std::uint32_t seed : {201u, 202u, 203u, 204u}) {
+    RandomProgramOptions opts;
+    opts.seed = seed;
+    opts.max_depth = 3;
+    opts.branch_probability = 0.5;
+    opts.max_loop_bound = 4;
+    opts.address_lines = 24;
+    const auto prog = make_random_program("fm", opts);
+    for (const CacheConfig& c : {cfg(8, 1), cfg(16, 2), cfg(32, 4)}) {
+      const StaticWcetResult on = analyze_static_wcet(prog, c);
+      const StaticWcetResult off = analyze_static_wcet(
+          prog, c, std::nullopt, nullptr, FirstMiss::off);
+      // FM can only tighten, and off-mode is the exact AM-only bound.
+      EXPECT_LE(on.wcet_cycles, on.am_only_cycles);
+      EXPECT_EQ(off.wcet_cycles, off.am_only_cycles);
+      EXPECT_EQ(off.am_only_cycles, on.am_only_cycles);
+      EXPECT_EQ(off.first_miss, 0u);
+      EXPECT_EQ(off.fm_penalty_cycles, 0u);
+      // Off-mode reports would-be FM points as NC; AH/AM are mode-free.
+      EXPECT_EQ(off.not_classified, on.not_classified + on.first_miss);
+      EXPECT_EQ(off.always_hit, on.always_hit);
+      EXPECT_EQ(off.always_miss, on.always_miss);
+      EXPECT_EQ(off.exit_state, on.exit_state);
+
+      // Memoized analyses are bit-identical to memo-less ones, cold run
+      // and pure-hit rerun alike.
+      StaticAnalysisMemo memo;
+      const StaticWcetResult first =
+          analyze_static_wcet(prog, c, std::nullopt, &memo);
+      const StaticWcetResult rerun =
+          analyze_static_wcet(prog, c, std::nullopt, &memo);
+      for (const StaticWcetResult* m : {&first, &rerun}) {
+        EXPECT_EQ(m->wcet_cycles, on.wcet_cycles);
+        EXPECT_EQ(m->am_only_cycles, on.am_only_cycles);
+        EXPECT_EQ(m->fm_penalty_cycles, on.fm_penalty_cycles);
+        EXPECT_EQ(m->first_miss, on.first_miss);
+        EXPECT_EQ(m->not_classified, on.not_classified);
+        EXPECT_TRUE(m->exit_state == on.exit_state);
+      }
+    }
+  }
+}
+
+TEST(FirstMiss, BranchFreeProgramsAreBitIdenticalInBothModes) {
+  // On a single path the persistence age never undercuts the must age, so
+  // first-miss cannot fire and FM-on reproduces the legacy AM-only result
+  // bit for bit — the compatibility guarantee for trace-lifted programs.
+  using catsched::cache::FirstMiss;
+  for (const std::uint32_t seed : {31u, 32u, 33u}) {
+    RandomProgramOptions opts;
+    opts.seed = seed;
+    opts.max_depth = 3;
+    opts.branch_probability = 0.0;  // loops and blocks only: one path
+    opts.max_loop_bound = 5;
+    opts.address_lines = 20;
+    const auto prog = make_random_program("single", opts);
+    const CacheConfig c = cfg(16, 2);
+    const StaticWcetResult on = analyze_static_wcet(prog, c);
+    const StaticWcetResult off = analyze_static_wcet(
+        prog, c, std::nullopt, nullptr, FirstMiss::off);
+    EXPECT_EQ(on.first_miss, 0u);
+    EXPECT_EQ(on.fm_penalty_cycles, 0u);
+    EXPECT_EQ(on.wcet_cycles, off.wcet_cycles);
+    EXPECT_EQ(on.wcet_cycles, on.am_only_cycles);
   }
 }
 

@@ -120,6 +120,65 @@ TEST(Generator, FingerprintSeesEveryStructuralField) {
   EXPECT_NE(system_fingerprint(mutated), base);
 }
 
+TEST(Generator, BranchyChanceZeroEmitsNoStructuredPrograms) {
+  // Draw-neutral default: with the knob at 0 no RNG draws are spent on the
+  // branchy path and every app stays a plain trace (old seeds replay
+  // bit-identically).
+  const GeneratorConfig config;
+  for (const std::uint64_t seed : {1ull, 9ull, 77ull}) {
+    const GeneratedSystem sys = generate_system(config, seed);
+    for (const auto& app : sys.model.apps) {
+      EXPECT_FALSE(app.has_structured());
+    }
+  }
+}
+
+TEST(Generator, BranchyModeIsDeterministicAndTraceIsAConcretePath) {
+  GeneratorConfig config;
+  config.branchy_chance = 1.0;
+  std::size_t structured_apps = 0;
+  for (const std::uint64_t seed : {3ull, 9ull, 40ull}) {
+    const GeneratedSystem a = generate_system(config, seed);
+    const GeneratedSystem b = generate_system(config, seed);
+    EXPECT_EQ(system_fingerprint(a.model), system_fingerprint(b.model));
+    for (const auto& app : a.model.apps) {
+      if (!app.has_structured()) continue;
+      ++structured_apps;
+      // The shrink/replay contract: app.program.trace stays a single
+      // CONCRETE path of the structured tree, verbatim.
+      const auto paths = cache::enumerate_paths(app.structured.root, 4096);
+      EXPECT_NE(std::find(paths.begin(), paths.end(), app.program.trace),
+                paths.end())
+          << "trace of " << app.name << " is not a path of its tree";
+    }
+  }
+  EXPECT_GT(structured_apps, 0u);
+}
+
+TEST(Generator, FingerprintSeesTheStructuredTree) {
+  GeneratorConfig config;
+  config.branchy_chance = 1.0;
+  const GeneratedSystem sys = generate_system(config, 3);
+  auto structured = std::find_if(
+      sys.model.apps.begin(), sys.model.apps.end(),
+      [](const auto& app) { return app.has_structured(); });
+  ASSERT_NE(structured, sys.model.apps.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(structured - sys.model.apps.begin());
+  const std::uint64_t base = system_fingerprint(sys.model);
+
+  auto mutated = sys.model;
+  mutated.apps[idx].structured = cache::StructuredProgram{};
+  EXPECT_NE(system_fingerprint(mutated), base);
+
+  mutated = sys.model;
+  // Branchy construction pins the root shape seq(block, loop): bumping the
+  // loop bound must change the fingerprint.
+  ASSERT_EQ(mutated.apps[idx].structured.root.kind, cache::Stmt::Kind::seq);
+  mutated.apps[idx].structured.root.children[1].bound += 1;
+  EXPECT_NE(system_fingerprint(mutated), base);
+}
+
 TEST(Generator, GeneratedSystemsAreValidAndAnalyzable) {
   const GeneratorConfig config;
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {

@@ -66,6 +66,21 @@ if ! grep -qw "fuzz_invariants" docs/BENCHMARKS.md; then
   echo "check_docs: the fuzz_invariants sweep is not documented in docs/BENCHMARKS.md"
   fail=1
 fi
+# The static-analysis story (PR 9): the three-domain writeup, the
+# first-miss bound-tightness numbers, and the README before/after table
+# must not silently rot.
+if ! grep -q "Static cache analysis" docs/ARCHITECTURE.md; then
+  echo "check_docs: docs/ARCHITECTURE.md lacks the 'Static cache analysis' section"
+  fail=1
+fi
+if ! grep -qi "first-miss" docs/BENCHMARKS.md; then
+  echo "check_docs: docs/BENCHMARKS.md does not cover the first-miss bound tightness"
+  fail=1
+fi
+if ! grep -q "AM-only bound" README.md; then
+  echo "check_docs: README.md lacks the first-miss before/after bound table"
+  fail=1
+fi
 
 for doc in docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
   if ! grep -q "$doc" README.md; then

@@ -130,6 +130,16 @@ InvariantOptions base_options(const Args& args) {
   return opts;
 }
 
+/// The sweep's generator configuration: branchy structured programs are
+/// enabled so the first-miss (persistence) invariant tier actually has a
+/// surface to bite on — roughly a third of the generated apps carry an
+/// if/else-in-loop tree next to their representative trace.
+GeneratorConfig sweep_config() {
+  GeneratorConfig config;
+  config.branchy_chance = 0.35;
+  return config;
+}
+
 /// Report a failure: seed, check, detail, then the shrunk counterexample.
 void report_failure(const GeneratedSystem& sys, const InvariantReport& rep,
                     const InvariantOptions& opts) {
@@ -154,7 +164,7 @@ void report_failure(const GeneratedSystem& sys, const InvariantReport& rep,
 }
 
 int replay(const Args& args) {
-  const GeneratorConfig config;
+  const GeneratorConfig config = sweep_config();
   const GeneratedSystem a =
       catsched::testgen::generate_system(config, args.replay_seed);
   const GeneratedSystem b =
@@ -181,7 +191,10 @@ int replay(const Args& args) {
   std::cout << "PASS (context_strict=" << rep.context_strict
             << " searches_checked=" << rep.searches_checked
             << " interleaving_won=" << rep.interleaving_won
-            << " preemption_feasible=" << rep.preemption_feasible << ")\n";
+            << " preemption_feasible=" << rep.preemption_feasible
+            << " fm_apps=" << rep.fm_apps
+            << " fm_tightened=" << rep.fm_tightened_apps
+            << " fm_reduction_cycles=" << rep.fm_reduction_cycles << ")\n";
   return 0;
 }
 
@@ -241,13 +254,16 @@ int main(int argc, char** argv) {
   if (args.replay) return replay(args);
   if (args.inject_eval_fault) return inject_eval_fault_selftest();
 
-  const GeneratorConfig config;
+  const GeneratorConfig config = sweep_config();
   std::uint64_t passed = 0;
   std::uint64_t context_strict = 0;
   std::uint64_t searches_checked = 0;
   std::uint64_t interleaving_won = 0;
   std::uint64_t preemption_feasible = 0;
   std::uint64_t rr_feasible = 0;
+  std::uint64_t fm_apps = 0;
+  std::uint64_t fm_tightened = 0;
+  std::uint64_t fm_reduction = 0;
 
   // Anytime sweep: the wall-clock budget is checked between seeds, so a
   // fired deadline ends the sweep cleanly after the current seed — every
@@ -275,6 +291,9 @@ int main(int argc, char** argv) {
     interleaving_won += rep.interleaving_won ? 1 : 0;
     preemption_feasible += rep.preemption_feasible ? 1 : 0;
     rr_feasible += rep.rr_feasible ? 1 : 0;
+    fm_apps += rep.fm_apps;
+    fm_tightened += rep.fm_tightened_apps;
+    fm_reduction += rep.fm_reduction_cycles;
     if ((i + 1) % 50 == 0) {
       std::cout << "... " << (i + 1) << "/" << args.seeds << " systems ok"
                 << std::endl;
@@ -303,7 +322,16 @@ int main(int argc, char** argv) {
           << "preemptive RM+CRPD feasible at T=tidle: " << preemption_feasible
           << " (" << static_cast<double>(preemption_feasible) * pct << "%)\n"
           << "round-robin (all-ones) idle-feasible: " << rr_feasible << " ("
-          << static_cast<double>(rr_feasible) * pct << "%)\n";
+          << static_cast<double>(rr_feasible) * pct << "%)\n"
+          << "first-miss tightened the bound on " << fm_tightened << "/"
+          << fm_apps << " structured apps"
+          << (fm_apps > 0
+                  ? " (" + std::to_string(static_cast<double>(fm_tightened) *
+                                          100.0 /
+                                          static_cast<double>(fm_apps)) +
+                        "%)"
+                  : "")
+          << ", total reduction " << fm_reduction << " cycles\n";
   std::cout << summary.str();
   if (!args.summary_file.empty()) {
     std::ofstream out(args.summary_file);
