@@ -52,7 +52,7 @@ int main() {
     std::printf("  multi-start x3, tolerance 0: reached (%d, %d) value %.4f "
                 "with %d unique evaluations\n",
                 ms.combined.best[0], ms.combined.best[1],
-                ms.combined.best_value, ms.total_unique_evaluations);
+                ms.combined.best_value, ms.unique_evaluations);
   }
 
   std::printf("\ncase study (starts (4,2,2) and (1,2,1), full pipeline):\n");

@@ -135,14 +135,14 @@ double timed_multistart(core::Evaluator& ev, const std::string& ck_path,
   opt::HybridOptions o;
   o.max_value = 6;
   if (!ck_path.empty()) {
-    o.checkpoint_path = ck_path;
-    o.checkpoint_every = every;
+    o.anytime.checkpoint_path = ck_path;
+    o.anytime.checkpoint_every = every;
   }
   const auto t0 = Clock::now();
   const auto res =
       core::find_optimal_schedule(ev, {{1, 1}, {4, 4}, {1, 6}}, o);
   const double s = seconds_since(t0);
-  if (checkpoints != nullptr) *checkpoints = res.search.checkpoints_written;
+  if (checkpoints != nullptr) *checkpoints = res.search.telemetry.checkpoints_written;
   return s;
 }
 

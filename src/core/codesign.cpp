@@ -41,7 +41,7 @@ CodesignResult find_optimal_schedule(
   res.search = opt::hybrid_search_multistart(
       make_objective(evaluator), make_cheap_feasible(evaluator), starts,
       opts, pool, make_neighbor_objective(evaluator));
-  res.schedules_evaluated = res.search.total_unique_evaluations;
+  res.schedules_evaluated = res.search.unique_evaluations;
   if (res.search.combined.found_feasible) {
     res.found = true;
     res.best_schedule = sched::PeriodicSchedule(res.search.combined.best);

@@ -97,6 +97,28 @@ sched::ScheduleTiming Evaluator::derive_neighbor_timing(
   return timing;
 }
 
+sched::ScheduleTiming Evaluator::derive_neighbor_timing(
+    const sched::TimingPattern& base, const sched::BlockRotation& rot,
+    std::vector<bool>* app_unchanged) const {
+  if (!context_) {
+    return sched::derive_timing_rotation(wcets_, base, rot, app_unchanged);
+  }
+  // Context mode: a rotation moves whole blocks between interference gaps,
+  // flipping masks of tasks far outside the rotated range — same recovery
+  // as the one-task-move overload above.
+  const std::size_t num_apps = base.timing.apps.size();
+  sched::ScheduleTiming timing = sched::derive_timing(
+      wcets_, *context_, sched::apply_rotation(base.seq, rot), num_apps);
+  if (app_unchanged != nullptr) {
+    app_unchanged->resize(num_apps);
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      (*app_unchanged)[i] =
+          timing.apps[i].intervals == base.timing.apps[i].intervals;
+    }
+  }
+  return timing;
+}
+
 bool Evaluator::idle_feasible(const sched::PeriodicSchedule& s) const {
   return idle_feasible(sched::InterleavedSchedule::from_periodic(s));
 }

@@ -163,6 +163,15 @@ public:
       const sched::TimingPattern& base, const sched::TaskMove& move,
       std::vector<bool>* app_unchanged) const;
 
+  /// Same mode dispatch for the segment-swap neighbor class: binary mode
+  /// takes sched::derive_timing_rotation (the incremental block-rotation
+  /// delta), context mode re-derives the rotated sequence from scratch and
+  /// recovers \p app_unchanged by interval-list comparison.
+  /// \throws std::invalid_argument like derive_timing_rotation.
+  sched::ScheduleTiming derive_neighbor_timing(
+      const sched::TimingPattern& base, const sched::BlockRotation& rot,
+      std::vector<bool>* app_unchanged) const;
+
   /// Delta-aware evaluation of the one-task-move neighbor of a base
   /// schedule: derives timing incrementally from \p base_pattern and reuses
   /// \p base_eval's AppEvaluations for every app whose interval list is

@@ -43,14 +43,17 @@ std::vector<Segment> merge_adjacent(std::vector<Segment> segs) {
 /// produce invalid shapes (a shrink can orphan an app, a swap can create
 /// mergeable neighbors), and pre-checking drops exactly those while any
 /// *other* std::invalid_argument still propagates as the bug it would be.
-/// When the candidate is kept and \p move is set, the move describes it as
-/// a one-task edit of the base sequence (the incremental evaluation path).
+/// When the candidate is kept and a descriptor is set, it describes the
+/// candidate as a one-task edit (\p move) or a block rotation (\p rot) of
+/// the base sequence (the incremental evaluation paths).
 void push_if_valid(std::vector<InterleavedNeighbor>& out,
                    std::vector<Segment> segs, std::size_t num_apps,
-                   std::optional<TaskMove> move = std::nullopt) {
+                   std::optional<TaskMove> move = std::nullopt,
+                   std::optional<sched::BlockRotation> rot = std::nullopt) {
   if (!InterleavedSchedule::is_valid(segs, num_apps)) return;
-  out.push_back(InterleavedNeighbor{
-      InterleavedSchedule(std::move(segs), num_apps), std::move(move)});
+  out.push_back(InterleavedNeighbor{InterleavedSchedule(std::move(segs),
+                                                        num_apps),
+                                    std::move(move), std::move(rot)});
 }
 
 TaskMove insert_move(std::size_t pos, std::size_t app) {
@@ -111,12 +114,23 @@ std::vector<InterleavedNeighbor> interleaved_neighbor_moves(
       push_if_valid(out, merge_adjacent(std::move(removed)), n,
                     remove_move(first_task[s], segs[s].app));
     }
-    // Swap with the cyclic successor: a block permutation, not a one-task
-    // edit — no delta descriptor.
+    // Swap with the cyclic successor: not a one-task edit, but a
+    // non-wrapping swap IS a left rotation of the two segments' combined
+    // task range by the first segment's count — the rotation descriptor
+    // routes it through derive_timing_rotation. The wrap-around swap
+    // (last segment with first) rotates the canonical sequence itself and
+    // stays on the from-scratch fallback.
     if (segs.size() > 2) {
       auto swapped = segs;
       std::swap(swapped[s], swapped[(s + 1) % swapped.size()]);
-      push_if_valid(out, std::move(swapped), n);
+      std::optional<sched::BlockRotation> rot;
+      if (s + 1 < segs.size()) {
+        rot = sched::BlockRotation{
+            first_task[s],
+            static_cast<std::size_t>(segs[s].count + segs[s + 1].count),
+            static_cast<std::size_t>(segs[s].count)};
+      }
+      push_if_valid(out, std::move(swapped), n, std::nullopt, std::move(rot));
     }
   }
 
@@ -136,12 +150,16 @@ std::vector<InterleavedNeighbor> interleaved_neighbor_moves(
 
   // Safety net for the delta contract: a descriptor is only kept when the
   // candidate's canonical task sequence really is the base sequence with
-  // the one edit applied (segment merges can rotate it; see above).
+  // the one edit / rotation applied (segment merges can rotate it; see
+  // above).
   for (InterleavedNeighbor& nb : out) {
-    if (!nb.move) continue;
-    if (sched::apply_move(base_seq, *nb.move) !=
-        nb.schedule.task_sequence()) {
+    if (nb.move && sched::apply_move(base_seq, *nb.move) !=
+                       nb.schedule.task_sequence()) {
       nb.move.reset();
+    }
+    if (nb.rotation && sched::apply_rotation(base_seq, *nb.rotation) !=
+                           nb.schedule.task_sequence()) {
+      nb.rotation.reset();
     }
   }
   return out;
@@ -220,9 +238,9 @@ InterleavedSearchResult interleaved_search(
   }
 
   InterleavedSearchResult res;
-  RunBudget* budget = opts.budget;
+  RunBudget* budget = opts.anytime.budget;
   if (budget != nullptr && budget->cancelled()) {
-    res.stop = budget->reason();
+    res.telemetry.stop = budget->reason();
     return res;
   }
 
@@ -231,10 +249,13 @@ InterleavedSearchResult interleaved_search(
   // serves them without touching the evaluator, so replaying the search
   // fast-forwards to the kill point at reduction speed.
   std::unordered_map<std::string, ScheduleEvaluation> overlay;
-  if (!opts.checkpoint_path.empty() && snapshot_exists(opts.checkpoint_path)) {
-    overlay = decode_interleaved_state(load_snapshot_file(
-        opts.checkpoint_path, kSnapshotKindInterleaved, &res.used_fallback));
-    res.resumed = true;
+  if (!opts.anytime.checkpoint_path.empty() &&
+      snapshot_exists(opts.anytime.checkpoint_path)) {
+    overlay = decode_interleaved_state(
+        load_snapshot_file(opts.anytime.checkpoint_path,
+                           kSnapshotKindInterleaved,
+                           &res.telemetry.used_fallback));
+    res.telemetry.resumed = true;
   }
   // Dedup on the canonical string so re-visits cost nothing and the
   // evaluation count matches "distinct schedules evaluated" for THIS
@@ -268,13 +289,14 @@ InterleavedSearchResult interleaved_search(
   // state is never rewritten.
   std::size_t saved_seen_size = seen.size();
   const auto save_checkpoint = [&] {
-    if (opts.checkpoint_path.empty() || seen.size() == saved_seen_size) {
+    if (opts.anytime.checkpoint_path.empty() ||
+        seen.size() == saved_seen_size) {
       return;
     }
-    write_snapshot_file(opts.checkpoint_path, kSnapshotKindInterleaved,
-                        encode_interleaved_state(seen), opts.fault);
+    write_snapshot_file(opts.anytime.checkpoint_path, kSnapshotKindInterleaved,
+                        encode_interleaved_state(seen), opts.anytime.fault);
     saved_seen_size = seen.size();
-    ++res.checkpoints_written;
+    ++res.telemetry.checkpoints_written;
   };
 
   InterleavedSchedule current = start;
@@ -295,7 +317,7 @@ InterleavedSearchResult interleaved_search(
     // noted only when a completed batch publishes), so a run cut short
     // after k accepted steps matches a max_steps = k run bit for bit.
     if (budget != nullptr && budget->cancelled()) {
-      res.stop = budget->reason();
+      res.telemetry.stop = budget->reason();
       break;
     }
     auto neighbors = interleaved_neighbor_moves(current, opts);
@@ -329,10 +351,13 @@ InterleavedSearchResult interleaved_search(
         evals[k] = it->second;
         return;
       }
-      if (pattern != nullptr && cand.move) {
+      if (pattern != nullptr && (cand.move || cand.rotation)) {
         std::vector<bool> unchanged;
-        sched::ScheduleTiming timing = evaluator.derive_neighbor_timing(
-            *pattern, *cand.move, &unchanged);
+        sched::ScheduleTiming timing =
+            cand.move ? evaluator.derive_neighbor_timing(*pattern, *cand.move,
+                                                         &unchanged)
+                      : evaluator.derive_neighbor_timing(
+                            *pattern, *cand.rotation, &unchanged);
         if (!evaluator.idle_feasible(timing)) return;
         evals[k] = memo.get_or_compute(key, [&] {
           return &evaluator.evaluate_neighbor_cached(
@@ -346,9 +371,10 @@ InterleavedSearchResult interleaved_search(
             key, [&] { return &evaluator.evaluate_cached(cand.schedule, key); });
         return;
       }
-      // Swap fallback (incremental mode): full timing derivation, but
-      // apps whose patterns survive the swap reuse the current
-      // evaluations (bit-identical to the plain path for any hint).
+      // Descriptor-free fallback (incremental mode; wrap-around swaps and
+      // merge-rotated removals): full timing derivation, but apps whose
+      // patterns survive the edit reuse the current evaluations
+      // (bit-identical to the plain path for any hint).
       evals[k] = memo.get_or_compute(key, [&] {
         return &evaluator.evaluate_cached(cand.schedule, key, current_eval);
       });
@@ -358,7 +384,7 @@ InterleavedSearchResult interleaved_search(
       // partially filled. Discard the batch without publishing — finished
       // evaluations stay in the evaluator's memo, but the returned state
       // is exactly the last completed step's.
-      res.stop = budget->reason();
+      res.telemetry.stop = budget->reason();
       break;
     }
     // Serial (between batches): publish this step's evaluations for the
@@ -373,7 +399,7 @@ InterleavedSearchResult interleaved_search(
     if (budget != nullptr) {
       budget->note_evaluations(static_cast<std::uint64_t>(published));
     }
-    if (step - last_saved_step >= opts.checkpoint_every) {
+    if (step - last_saved_step >= opts.anytime.checkpoint_every) {
       save_checkpoint();
       last_saved_step = step;
     }
@@ -419,7 +445,8 @@ InterleavedSearchResult interleaved_search(
   // entries on a resume — `seen` is the same set on every path, so the
   // count is bit-identical between a fresh run, a cut-short run at the
   // same step, and a resumed run at completion.
-  res.evaluations = static_cast<int>(seen.size());
+  res.unique_evaluations = static_cast<int>(seen.size());
+  res.evaluations = res.unique_evaluations;
   return res;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/anytime.hpp"
 #include "core/evaluator.hpp"
 #include "core/fault.hpp"
 #include "core/run_budget.hpp"
@@ -36,29 +37,23 @@ struct InterleavedSearchOptions {
                                ///< (feasibility early-outs), so small
                                ///< chunks keep workers from starving
   /// Delta-aware neighbor evaluation: neighbors expressible as a one-task
-  /// move re-derive timing incrementally from the current schedule's
-  /// pattern and reuse its per-app evaluations where the pattern is
-  /// unchanged. Bit-identical to the from-scratch path (gtest-enforced);
-  /// off = the pre-incremental behavior, kept for differential tests and
-  /// benchmarking.
+  /// move or a block rotation (non-wrapping segment swaps) re-derive
+  /// timing incrementally from the current schedule's pattern and reuse
+  /// its per-app evaluations where the pattern is unchanged. Bit-identical
+  /// to the from-scratch path (gtest-enforced); off = the pre-incremental
+  /// behavior, kept for differential tests and benchmarking.
   bool incremental = true;
 
-  /// Anytime extension (all off by default). The budget is checked at
-  /// every step boundary and at every pool chunk claim; a fired budget
-  /// returns best-so-far with the StopReason, never throws, and a
-  /// mid-batch trip discards the partial batch — so a run cut short after
-  /// k accepted steps is bit-identical to a max_steps = k run.
-  RunBudget* budget = nullptr;
-  /// Checkpoint file (empty = off). The snapshot stores every *published*
-  /// evaluation as (canonical key, Pall, feasibility bits); an existing
-  /// file is resumed from automatically: published entries are preloaded
-  /// as lightweight overlay evaluations, so the replayed search
-  /// fast-forwards through them and only re-runs the controller designs of
-  /// schedules it actually accepts — converging to the bit-identical final
-  /// result of an uninterrupted run (see tests/test_anytime.cpp).
-  std::string checkpoint_path;
-  int checkpoint_every = 4;         ///< steps between snapshots
-  FaultPlan* fault = nullptr;       ///< snapshot corruption hook (tests)
+  /// Shared anytime/checkpoint knobs (see core/anytime.hpp). The snapshot
+  /// stores every *published* evaluation as (canonical key, Pall,
+  /// feasibility bits); an existing file is resumed from automatically:
+  /// published entries are preloaded as lightweight overlay evaluations,
+  /// so the replayed search fast-forwards through them and only re-runs
+  /// the controller designs of schedules it actually accepts — converging
+  /// to the bit-identical final result of an uninterrupted run (see
+  /// tests/test_anytime.cpp). checkpoint_every here counts accepted steps
+  /// between snapshots, not evaluations (hence the tighter default).
+  AnytimeOptions anytime{nullptr, {}, 4, nullptr};
 };
 
 /// Outcome of the interleaved search.
@@ -67,24 +62,30 @@ struct InterleavedSearchResult {
   ScheduleEvaluation best_evaluation;
   bool found = false;
   int steps = 0;
-  int evaluations = 0;  ///< distinct schedules in the published search state
+  /// Distinct schedules in the published search state (see the
+  /// evaluation-count naming scheme in opt/discrete_search.hpp).
+  int unique_evaluations = 0;
+  /// \deprecated Same value as unique_evaluations (the pre-scheme name).
+  int evaluations = 0;
   std::vector<std::string> path;  ///< accepted schedules, start first
   /// Anytime/checkpoint observability (defaults = nothing fired).
-  StopReason stop = StopReason::completed;
-  bool resumed = false;
-  bool used_fallback = false;  ///< the .prev snapshot served (primary damaged)
-  int checkpoints_written = 0;
+  RunTelemetry telemetry;
 };
 
-/// One neighbor candidate plus its delta descriptor: `move` is set iff the
-/// neighbor's task sequence is exactly the base sequence with one task
-/// inserted/removed (grow/shrink/insert/remove moves; a removal whose
-/// segment merge wraps around the period rotates the sequence and gets no
-/// descriptor, as do segment swaps) — only then can derive_timing_delta
-/// reproduce the from-scratch derivation bit-for-bit.
+/// One neighbor candidate plus its delta descriptor (at most one is set):
+///  * `move` iff the neighbor's task sequence is exactly the base sequence
+///    with one task inserted/removed (grow/shrink/insert/remove moves; a
+///    removal whose segment merge wraps around the period rotates the
+///    sequence and gets no descriptor) — consumed by derive_timing_delta;
+///  * `rotation` iff it is the base sequence with one contiguous block
+///    left-rotated (non-wrapping segment swaps) — consumed by
+///    derive_timing_rotation.
+/// Either descriptor reproduces the from-scratch derivation bit-for-bit;
+/// neighbors with neither (wrapping swaps) take the from-scratch path.
 struct InterleavedNeighbor {
   sched::InterleavedSchedule schedule;
   std::optional<sched::TaskMove> move;
+  std::optional<sched::BlockRotation> rotation;
 };
 
 /// All valid one-move neighbors of an interleaved schedule:

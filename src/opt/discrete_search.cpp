@@ -184,13 +184,13 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
   // cache-size delta — under parallel multistart the latter would absorb
   // other runs' concurrent insertions.
   std::atomic<int> run_misses{0};
-  core::RunBudget* budget = opts.budget;
+  core::RunBudget* budget = opts.anytime.budget;
 
   HybridResult res;
   if (budget != nullptr && budget->cancelled()) {
     // Fired before this run started (e.g. a later start in a cancelled
     // multistart): report the reason, do no work.
-    res.stop = budget->reason();
+    res.telemetry.stop = budget->reason();
     return res;
   }
   std::vector<int> cur = start;
@@ -213,7 +213,7 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     // noted only at the end of a completed step), so a run cut short after
     // k steps matches a max_steps = k run bit for bit.
     if (budget != nullptr && budget->cancelled()) {
-      res.stop = budget->reason();
+      res.telemetry.stop = budget->reason();
       break;
     }
     // Build the per-dimension 1-D quadratic models: evaluate both discrete
@@ -254,7 +254,7 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
       // null. Discard the whole batch — finished evaluations stay in the
       // cache, but no decision is made from a partial neighborhood, so the
       // result is exactly the last completed step's.
-      res.stop = budget->reason();
+      res.telemetry.stop = budget->reason();
       break;
     }
     if (budget != nullptr) {
@@ -322,7 +322,8 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
     if (!moved) break;
   }
 
-  res.evaluations = run_misses.load();
+  res.new_evaluations = run_misses.load();
+  res.evaluations = res.new_evaluations;
   return res;
 }
 
@@ -332,15 +333,15 @@ MultiStartResult hybrid_search_multistart(
     core::ThreadPool* pool, const NeighborObjective& neighbor) {
   EvalCache cache(objective, neighbor);
   MultiStartResult res;
-  if (!opts.checkpoint_path.empty()) {
-    cache.enable_checkpoints(opts.checkpoint_path, opts.checkpoint_every,
-                             opts.fault);
+  if (!opts.anytime.checkpoint_path.empty()) {
+    cache.enable_checkpoints(opts.anytime.checkpoint_path,
+                             opts.anytime.checkpoint_every, opts.anytime.fault);
     // Resume-by-replay: preload the table and rerun every start — memo
     // hits fast-forward each run to where the previous process died, so
     // the final combined result (and the unique-evaluation total) is
     // bit-identical to an uninterrupted run. Only the per-run
-    // `evaluations` split shifts (preloaded points cost nobody).
-    res.resumed = cache.try_resume(&res.used_fallback);
+    // `new_evaluations` split shifts (preloaded points cost nobody).
+    res.telemetry.resumed = cache.try_resume(&res.telemetry.used_fallback);
   }
   res.runs.resize(starts.size());
   core::parallel_for(pool, starts.size(), [&](std::size_t i) {
@@ -355,13 +356,14 @@ MultiStartResult hybrid_search_multistart(
       res.combined = r;
     }
   }
-  if (opts.budget != nullptr && opts.budget->cancelled()) {
-    res.stop = opts.budget->reason();
-    res.combined.stop = res.stop;
+  if (opts.anytime.budget != nullptr && opts.anytime.budget->cancelled()) {
+    res.telemetry.stop = opts.anytime.budget->reason();
+    res.combined.telemetry.stop = res.telemetry.stop;
   }
   cache.save_checkpoint();
-  res.checkpoints_written = cache.checkpoints_written();
-  res.total_unique_evaluations = cache.unique_evaluations();
+  res.telemetry.checkpoints_written = cache.checkpoints_written();
+  res.unique_evaluations = cache.unique_evaluations();
+  res.total_unique_evaluations = res.unique_evaluations;
   return res;
 }
 
@@ -426,17 +428,17 @@ ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
   std::vector<std::vector<int>> region = enumerate_feasible(cheap, dims, opts);
   EvalCache cache(objective);
   ExhaustiveResult res;
-  if (!opts.checkpoint_path.empty()) {
-    cache.enable_checkpoints(opts.checkpoint_path, opts.checkpoint_every,
-                             opts.fault);
-    res.resumed = cache.try_resume(&res.used_fallback);
+  if (!opts.anytime.checkpoint_path.empty()) {
+    cache.enable_checkpoints(opts.anytime.checkpoint_path,
+                             opts.anytime.checkpoint_every, opts.anytime.fault);
+    res.telemetry.resumed = cache.try_resume(&res.telemetry.used_fallback);
   }
-  core::RunBudget* budget = opts.budget;
+  core::RunBudget* budget = opts.anytime.budget;
   constexpr std::size_t kBlock = 256;
   res.all.reserve(region.size());
   for (std::size_t begin = 0; begin < region.size(); begin += kBlock) {
     if (budget != nullptr && budget->cancelled()) {
-      res.stop = budget->reason();
+      res.telemetry.stop = budget->reason();
       break;
     }
     const std::size_t end = std::min(begin + kBlock, region.size());
@@ -447,7 +449,8 @@ ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
     const std::vector<const EvalOutcome*> outcomes =
         cache.evaluate_batch(batch, pool, &misses, nullptr, budget);
     if (budget != nullptr && budget->cancelled()) {
-      res.stop = budget->reason();  // partial block: discard, keep blocks 0..k
+      // Partial block: discard, keep blocks 0..k.
+      res.telemetry.stop = budget->reason();
       break;
     }
     if (budget != nullptr) {
@@ -468,7 +471,7 @@ ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
     }
   }
   cache.save_checkpoint();
-  res.checkpoints_written = cache.checkpoints_written();
+  res.telemetry.checkpoints_written = cache.checkpoints_written();
   res.unique_evaluations = cache.unique_evaluations();
   return res;
 }

@@ -14,11 +14,24 @@
 #include <utility>
 #include <vector>
 
+#include "core/anytime.hpp"
 #include "core/fault.hpp"
 #include "core/parallel.hpp"
 #include "core/run_budget.hpp"
 
 namespace catsched::opt {
+
+// Evaluation-count naming scheme (shared by every search result in this
+// repo — discrete, exhaustive, interleaved, portfolio):
+//   * `new_evaluations`    — unique evaluations THIS run added, i.e. memo
+//                            misses it won (the per-run cost split; sums
+//                            over concurrent runs to the shared total).
+//   * `unique_evaluations` — distinct points in the shared cache/search
+//                            state at return (the paper's "evaluated
+//                            schedules" accounting: a point costs once,
+//                            however many runs or threads touch it).
+// Fields predating the scheme are kept with a deprecation note and mirror
+// one of the two meanings bit-exactly.
 
 /// Outcome of one (expensive) objective evaluation at an integer point.
 struct EvalOutcome {
@@ -171,20 +184,12 @@ struct HybridOptions {
   int min_value = 1;       ///< lower bound per dimension (mi in N+)
   int max_value = 64;      ///< safety upper bound per dimension
 
-  /// Anytime extension (all off by default — the legacy behavior).
-  /// Cooperative budget, checked at every step/block boundary and at every
-  /// pool chunk claim; a fired budget makes the search return best-so-far
-  /// with the StopReason, never throw. Stop-flag and evaluation-cap trips
-  /// are quantized to step boundaries, so a run cancelled after k steps is
-  /// bit-identical to one run with max_steps = k (see run_budget.hpp).
-  core::RunBudget* budget = nullptr;
-  /// Checkpoint file for the entry points that own their cache
-  /// (hybrid_search_multistart, exhaustive_search): empty = off. An
-  /// existing file is resumed from automatically. Callers of the plain
+  /// Shared anytime/checkpoint knobs (see core/anytime.hpp for the
+  /// budget-quantization and resume-by-replay contracts). The checkpoint
+  /// path only applies to the entry points that own their cache
+  /// (hybrid_search_multistart, exhaustive_search); callers of the plain
   /// hybrid_search own the cache and arm it themselves.
-  std::string checkpoint_path;
-  int checkpoint_every = 16;        ///< new evaluations between snapshots
-  core::FaultPlan* fault = nullptr; ///< snapshot corruption hook (tests)
+  core::AnytimeOptions anytime;
 };
 
 /// Result of one hybrid search run (or of a multi-start combination).
@@ -193,19 +198,23 @@ struct HybridResult {
   double best_value = 0.0;
   bool found_feasible = false;
   int steps = 0;                       ///< accepted moves
-  int evaluations = 0;                 ///< unique evaluations *this run added*
+  int new_evaluations = 0;             ///< memo misses this run won
+  /// \deprecated Same value as new_evaluations (the pre-scheme name).
+  int evaluations = 0;
   std::vector<std::vector<int>> path;  ///< accepted points, start first
-  /// completed, or which budget cut the run short (best-so-far above).
-  core::StopReason stop = core::StopReason::completed;
+  /// Anytime observability; only `stop` is meaningful for a single run
+  /// (checkpointing lives on the cache the caller owns).
+  core::RunTelemetry telemetry;
 };
 
 /// One hybrid search from \p start. Evaluations go through \p cache; the
-/// run's `evaluations` field reports how many *new* points it cost. With a
-/// \p pool, each step's <= 2n neighbor candidates are evaluated
+/// run's `new_evaluations` field reports how many *new* points it cost.
+/// With a \p pool, each step's <= 2n neighbor candidates are evaluated
 /// concurrently; the accepted path and best point are bit-identical to the
-/// serial run (the step decision itself stays sequential). opts.budget
-/// makes the run anytime (checked per step; a mid-batch deadline discards
-/// the partial batch — its finished evaluations stay in the cache).
+/// serial run (the step decision itself stays sequential).
+/// opts.anytime.budget makes the run anytime (checked per step; a
+/// mid-batch deadline discards the partial batch — its finished
+/// evaluations stay in the cache).
 /// \throws std::invalid_argument if start is empty, out of bounds, or
 ///         cheap-infeasible.
 HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
@@ -218,21 +227,20 @@ HybridResult hybrid_search(EvalCache& cache, const CheapFeasible& cheap,
 struct MultiStartResult {
   HybridResult combined;
   std::vector<HybridResult> runs;
+  int unique_evaluations = 0;  ///< distinct points in the shared cache
+  /// \deprecated Same value as unique_evaluations (the pre-scheme name).
   int total_unique_evaluations = 0;
   /// Anytime/checkpoint observability (defaults = nothing fired).
-  core::StopReason stop = core::StopReason::completed;
-  bool resumed = false;        ///< a checkpoint was loaded into the cache
-  bool used_fallback = false;  ///< the .prev snapshot served (primary damaged)
-  int checkpoints_written = 0;
+  core::RunTelemetry telemetry;
 };
 
 /// With a \p pool the starts run concurrently against one shared
 /// thread-safe cache. Best point, best value and the total unique
 /// evaluation count are bit-identical to the serial run (each run's path
 /// depends only on objective values, which are memoized deterministically).
-/// Only the per-run `evaluations` split may differ: each run counts the
-/// points it computed itself (the sum over runs always equals
-/// total_unique_evaluations), so a point raced by two runs is charged to
+/// Only the per-run `new_evaluations` split may differ: each run counts
+/// the points it computed itself (the sum over runs always equals
+/// unique_evaluations), so a point raced by two runs is charged to
 /// whichever won the memo slot.
 MultiStartResult hybrid_search_multistart(
     const DiscreteObjective& objective, const CheapFeasible& cheap,
@@ -251,10 +259,7 @@ struct ExhaustiveResult {
   /// Anytime/checkpoint observability. On a cut-short run, `all`,
   /// `enumerated` and best-so-far cover exactly the blocks reduced before
   /// the budget fired — a bit-identical prefix of the full run's table.
-  core::StopReason stop = core::StopReason::completed;
-  bool resumed = false;
-  bool used_fallback = false;
-  int checkpoints_written = 0;
+  core::RunTelemetry telemetry;
   int unique_evaluations = 0;  ///< distinct points in the cache at return
 };
 
@@ -263,9 +268,10 @@ struct ExhaustiveResult {
 /// enumerated region is fanned across the workers and reduced serially in
 /// enumeration order, so the result (including the full `all` table) is
 /// bit-identical to the serial run. The region is processed in fixed-size
-/// blocks through an internal EvalCache: opts.budget is consulted between
-/// blocks (and at pool chunk claims within one), opts.checkpoint_path
-/// arms table snapshots on that cache and resumes from an existing file.
+/// blocks through an internal EvalCache: opts.anytime.budget is consulted
+/// between blocks (and at pool chunk claims within one),
+/// opts.anytime.checkpoint_path arms table snapshots on that cache and
+/// resumes from an existing file.
 /// \throws std::invalid_argument if dims == 0.
 ExhaustiveResult exhaustive_search(const DiscreteObjective& objective,
                                    const CheapFeasible& cheap,

@@ -214,6 +214,41 @@ ScheduleTiming derive_timing_delta(const std::vector<AppWcet>& wcets,
 std::vector<std::size_t> apply_move(const std::vector<std::size_t>& seq,
                                     const TaskMove& move);
 
+/// A left rotation of one contiguous sub-range of a schedule's task
+/// sequence — the delta between an interleaved schedule and its
+/// adjacent-segment-swap neighbor: swapping segments A|B (lengths a, b)
+/// rotates the combined range of length a + b left by a. Non-wrapping
+/// only (pos + len <= sequence length); a swap involving the last segment
+/// rotates the whole canonical sequence and keeps no descriptor.
+struct BlockRotation {
+  std::size_t pos = 0;    ///< first task of the rotated range
+  std::size_t len = 0;    ///< range length, >= 2
+  std::size_t shift = 0;  ///< left-rotation amount, in (0, len)
+};
+
+/// Apply a block rotation to a sequence (helper for tests and descriptor
+/// verification).
+/// \throws std::invalid_argument on an out-of-range or degenerate rotation.
+std::vector<std::size_t> apply_rotation(const std::vector<std::size_t>& seq,
+                                        const BlockRotation& rot);
+
+/// Incremental re-derivation for segment swaps: timing of the schedule
+/// whose task sequence is \p base's with \p rot applied, bit-identical to
+/// derive_timing on the rotated sequence (differentially gtest-enforced).
+/// A rotation preserves every adjacency except three seams (the range
+/// head, the internal block boundary, and the first task after the
+/// range), so exactly those classifications are patched; start offsets
+/// reuse the clean prefix and replay the accumulate_starts recurrence
+/// over the dirty tail; interval counts never change, so every app's base
+/// interval list is copied wholesale and patched in place. \p app_unchanged
+/// receives per-app flags exactly like derive_timing_delta.
+/// Binary cold/warm only (see derive_timing_delta for the context-mode
+/// rationale — the evaluator re-derives from scratch there).
+/// \throws std::invalid_argument on an out-of-range or degenerate rotation.
+ScheduleTiming derive_timing_rotation(
+    const std::vector<AppWcet>& wcets, const TimingPattern& base,
+    const BlockRotation& rot, std::vector<bool>* app_unchanged = nullptr);
+
 /// Paper eq. (4): h_i^max <= tidle_i for every application.
 /// \throws std::invalid_argument if tidle size mismatches.
 bool idle_feasible(const ScheduleTiming& timing,

@@ -11,6 +11,7 @@
 #include "core/codesign.hpp"
 #include "core/interleaved_codesign.hpp"
 #include "core/parallel.hpp"
+#include "opt/portfolio.hpp"
 #include "sched/edf.hpp"
 #include "sched/preemptive.hpp"
 #include "testgen/rng.hpp"
@@ -399,6 +400,38 @@ InvariantReport check_invariants(const core::SystemModel& model,
         }
       }
     }
+    // Block-rotation delta (the segment-swap path): same bit-identity and
+    // flag-exactness contract as timing-delta, over random valid blocks.
+    for (int k = 0; k < 4 && tasks >= 2; ++k) {
+      sched::BlockRotation rot;
+      rot.len = 2 + rng.index(tasks - 1);        // in [2, tasks]
+      rot.pos = rng.index(tasks - rot.len + 1);  // non-wrapping
+      rot.shift = 1 + rng.index(rot.len - 1);    // in [1, len-1]
+      const std::vector<std::size_t> rotated = sched::apply_rotation(seq, rot);
+      const sched::ScheduleTiming scratch =
+          sched::derive_timing(wcets, rotated, n);
+      std::vector<bool> unchanged;
+      const sched::ScheduleTiming delta =
+          sched::derive_timing_rotation(wcets, pattern, rot, &unchanged);
+      std::ostringstream os;
+      os << "rotate pos=" << rot.pos << " len=" << rot.len
+         << " shift=" << rot.shift << " of " << inter.to_string();
+      if (!fail.require(timing_equal(delta, scratch), "timing-rotation",
+                        os.str())) {
+        return rep;
+      }
+      for (std::size_t a = 0; a < n; ++a) {
+        const bool identical =
+            pattern.timing.apps[a].intervals == scratch.apps[a].intervals;
+        if (unchanged[a] != identical) {
+          if (!fail.require(false, "timing-rotation",
+                            os.str() + ": unchanged flag wrong on app " +
+                                std::to_string(a))) {
+            return rep;
+          }
+        }
+      }
+    }
   }
 
   // ------------------------------------- E. EDF / preemptive consistency
@@ -559,6 +592,34 @@ InvariantReport check_invariants(const core::SystemModel& model,
     const core::InterleavedSearchResult il_s =
         core::interleaved_search(es, il_start, sopts, nullptr);
 
+    // Portfolio race, fuzz-sized: elimination off so the hybrid lanes run
+    // to self-convergence (they replicate hybrid_search move for move),
+    // which makes "portfolio best >= multistart best" a hard invariant on
+    // the same starts/box/step budget.
+    opt::PortfolioOptions popts;
+    popts.min_value = hopts.min_value;
+    popts.max_value = hopts.max_value;
+    popts.hybrid_max_steps = hopts.max_steps;
+    popts.max_rounds = 8;
+    popts.elimination_rounds = 0;
+    popts.seed = seed;
+    popts.anneal.iterations = 8;
+    popts.anneal.batch = 4;
+    popts.genetic.population = 4;
+    popts.genetic.generations = 2;
+    const opt::PortfolioResult pf_s = opt::portfolio_search(
+        core::make_objective(es), core::make_cheap_feasible(es), starts,
+        popts, nullptr, core::make_neighbor_objective(es));
+    if (ms_s.found) {
+      const bool dominated =
+          pf_s.found_feasible &&
+          pf_s.best_value >= ms_s.best_evaluation.pall;
+      if (!fail.require(dominated, "search-portfolio",
+                        "portfolio best fell below the multistart best")) {
+        return rep;
+      }
+    }
+
     for (const std::size_t threads : opts.thread_counts) {
       core::ThreadPool pool(threads);
       core::Evaluator ep(model, design, &pool);
@@ -566,8 +627,8 @@ InvariantReport check_invariants(const core::SystemModel& model,
           core::find_optimal_schedule(ep, starts, hopts, &pool);
       bool hybrid_ok =
           ms_p.found == ms_s.found &&
-          ms_p.search.total_unique_evaluations ==
-              ms_s.search.total_unique_evaluations &&
+          ms_p.search.unique_evaluations ==
+              ms_s.search.unique_evaluations &&
           ms_p.search.runs.size() == ms_s.search.runs.size();
       if (hybrid_ok && ms_s.found) {
         hybrid_ok = ms_p.best_schedule == ms_s.best_schedule &&
@@ -618,6 +679,21 @@ InvariantReport check_invariants(const core::SystemModel& model,
             same_bits(il_p.best_evaluation.pall, il_s.best_evaluation.pall)));
       if (!fail.require(il_ok, "search-interleaved",
                         "interleaved search diverged at " +
+                            std::to_string(threads) + " threads")) {
+        return rep;
+      }
+
+      const opt::PortfolioResult pf_p = opt::portfolio_search(
+          core::make_objective(ep), core::make_cheap_feasible(ep), starts,
+          popts, &pool, core::make_neighbor_objective(ep));
+      const bool pf_ok =
+          pf_p.found_feasible == pf_s.found_feasible &&
+          pf_p.best == pf_s.best &&
+          same_bits(pf_p.best_value, pf_s.best_value) &&
+          pf_p.winner == pf_s.winner && pf_p.rounds == pf_s.rounds &&
+          pf_p.unique_evaluations == pf_s.unique_evaluations;
+      if (!fail.require(pf_ok, "search-portfolio",
+                        "portfolio race diverged at " +
                             std::to_string(threads) + " threads")) {
         return rep;
       }

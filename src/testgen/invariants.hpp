@@ -83,10 +83,10 @@ struct InvariantReport {
 ///   wcet-pair, analyzer-base, fm-le-am, fm-memo, fm-replay,
 ///   wcet-ordering, injected-context-below-warm,
 ///   wcet-monotonic, replay-bound, timing-cold-fallback,
-///   timing-schedule-vs-seq, timing-delta, edf-util, edf-vs-rta,
-///   rta-crpd-monotone, preemptive-timing, neighbor-eval,
+///   timing-schedule-vs-seq, timing-delta, timing-rotation, edf-util,
+///   edf-vs-rta, rta-crpd-monotone, preemptive-timing, neighbor-eval,
 ///   neighbor-eval-context, memo-counts, search-hybrid,
-///   search-exhaustive, search-interleaved.
+///   search-exhaustive, search-interleaved, search-portfolio.
 InvariantReport check_invariants(const core::SystemModel& model,
                                  std::uint64_t seed,
                                  const InvariantOptions& opts = {});

@@ -155,9 +155,9 @@ TEST(AnytimeInterleaved, EvalLimitCutMatchesMaxStepsRun) {
   core::RunBudget budget;
   budget.set_max_evaluations(1);
   core::InterleavedSearchOptions copts;
-  copts.budget = &budget;
+  copts.anytime.budget = &budget;
   const auto cut = core::interleaved_search(ev, start, copts);
-  EXPECT_EQ(cut.stop, core::StopReason::evaluation_limit);
+  EXPECT_EQ(cut.telemetry.stop, core::StopReason::evaluation_limit);
   ASSERT_GE(cut.steps, 0);
 
   // An uninterrupted run capped at exactly that many accepted steps must
@@ -167,7 +167,7 @@ TEST(AnytimeInterleaved, EvalLimitCutMatchesMaxStepsRun) {
   core::InterleavedSearchOptions kopts;
   kopts.max_steps = cut.steps;
   const auto capped = core::interleaved_search(ev2, start, kopts);
-  EXPECT_EQ(capped.stop, core::StopReason::completed);
+  EXPECT_EQ(capped.telemetry.stop, core::StopReason::completed);
   EXPECT_EQ(cut.best.to_string(), capped.best.to_string());
   EXPECT_EQ(bits(cut.best_evaluation.pall), bits(capped.best_evaluation.pall));
   EXPECT_EQ(cut.evaluations, capped.evaluations);
@@ -180,12 +180,12 @@ TEST(AnytimeInterleaved, PreFiredBudgetReturnsBeforeAnyEvaluation) {
   core::RunBudget budget;
   budget.request_stop();
   core::InterleavedSearchOptions opts;
-  opts.budget = &budget;
+  opts.anytime.budget = &budget;
   const auto res = core::interleaved_search(
       ev, sched::InterleavedSchedule::from_periodic(
               sched::PeriodicSchedule({1, 1})),
       opts);
-  EXPECT_EQ(res.stop, core::StopReason::stop_requested);
+  EXPECT_EQ(res.telemetry.stop, core::StopReason::stop_requested);
   EXPECT_FALSE(res.found);
   EXPECT_EQ(res.evaluations, 0);
   EXPECT_EQ(res.steps, 0);
@@ -199,12 +199,12 @@ TEST(AnytimeHybrid, CancelledRunsAreReproducible) {
     core::RunBudget budget;
     budget.set_max_evaluations(max_evals);
     opt::HybridOptions o = hybrid_opts();
-    o.budget = &budget;
+    o.anytime.budget = &budget;
     return core::find_optimal_schedule(ev, kStarts, o);
   };
   const auto a = run_once(6);
   const auto b = run_once(6);
-  EXPECT_EQ(a.search.stop, core::StopReason::evaluation_limit);
+  EXPECT_EQ(a.search.telemetry.stop, core::StopReason::evaluation_limit);
   EXPECT_EQ(a.found, b.found);
   EXPECT_EQ(a.schedules_evaluated, b.schedules_evaluated);
   if (a.found) {
@@ -218,9 +218,9 @@ TEST(AnytimeHybrid, PreFiredBudgetReturnsImmediately) {
   core::RunBudget budget;
   budget.request_stop();
   opt::HybridOptions o = hybrid_opts();
-  o.budget = &budget;
+  o.anytime.budget = &budget;
   const auto res = core::find_optimal_schedule(ev, kStarts, o);
-  EXPECT_EQ(res.search.stop, core::StopReason::stop_requested);
+  EXPECT_EQ(res.search.telemetry.stop, core::StopReason::stop_requested);
   EXPECT_FALSE(res.found);
   EXPECT_EQ(res.schedules_evaluated, 0);
 }
@@ -241,12 +241,12 @@ TEST(CheckpointResume, MultistartResumesBitIdentical) {
     core::RunBudget budget;
     budget.set_max_evaluations(8);
     opt::HybridOptions o = hybrid_opts();
-    o.budget = &budget;
-    o.checkpoint_path = ck.str();
-    o.checkpoint_every = 1;
+    o.anytime.budget = &budget;
+    o.anytime.checkpoint_path = ck.str();
+    o.anytime.checkpoint_every = 1;
     const auto cut = core::find_optimal_schedule(ev, kStarts, o);
-    EXPECT_EQ(cut.search.stop, core::StopReason::evaluation_limit);
-    EXPECT_GT(cut.search.checkpoints_written, 0);
+    EXPECT_EQ(cut.search.telemetry.stop, core::StopReason::evaluation_limit);
+    EXPECT_GT(cut.search.telemetry.checkpoints_written, 0);
   }
   ASSERT_TRUE(core::snapshot_exists(ck.str()));
 
@@ -254,10 +254,10 @@ TEST(CheckpointResume, MultistartResumesBitIdentical) {
   // through the journal and the final result is bit-identical.
   core::Evaluator ev(reduced_system(), fast_options());
   opt::HybridOptions o = hybrid_opts();
-  o.checkpoint_path = ck.str();
+  o.anytime.checkpoint_path = ck.str();
   const auto resumed = core::find_optimal_schedule(ev, kStarts, o);
-  EXPECT_TRUE(resumed.search.resumed);
-  EXPECT_FALSE(resumed.search.used_fallback);
+  EXPECT_TRUE(resumed.search.telemetry.resumed);
+  EXPECT_FALSE(resumed.search.telemetry.used_fallback);
   ASSERT_TRUE(resumed.found);
   EXPECT_EQ(ref.best_schedule.to_string(), resumed.best_schedule.to_string());
   EXPECT_EQ(bits(ref.best_evaluation.pall), bits(resumed.best_evaluation.pall));
@@ -286,19 +286,19 @@ TEST(CheckpointResume, ExhaustiveResumesBitIdentical) {
     eopts.fault = &fault;
     core::Evaluator ev(reduced_system(), fast_options(), nullptr, eopts);
     opt::HybridOptions o = hybrid_opts();
-    o.budget = &budget;
-    o.checkpoint_path = ck.str();
-    o.checkpoint_every = 1;
+    o.anytime.budget = &budget;
+    o.anytime.checkpoint_path = ck.str();
+    o.anytime.checkpoint_every = 1;
     const auto cut = core::exhaustive_codesign(ev, o);
-    EXPECT_EQ(cut.details.stop, core::StopReason::stop_requested);
-    EXPECT_GT(cut.details.checkpoints_written, 0);
+    EXPECT_EQ(cut.details.telemetry.stop, core::StopReason::stop_requested);
+    EXPECT_GT(cut.details.telemetry.checkpoints_written, 0);
   }
 
   core::Evaluator ev(reduced_system(), fast_options());
   opt::HybridOptions o = hybrid_opts();
-  o.checkpoint_path = ck.str();
+  o.anytime.checkpoint_path = ck.str();
   const auto resumed = core::exhaustive_codesign(ev, o);
-  EXPECT_TRUE(resumed.details.resumed);
+  EXPECT_TRUE(resumed.details.telemetry.resumed);
   ASSERT_TRUE(resumed.found);
   EXPECT_EQ(ref.best_schedule.to_string(), resumed.best_schedule.to_string());
   EXPECT_EQ(bits(ref.best_evaluation.pall), bits(resumed.best_evaluation.pall));
@@ -320,19 +320,19 @@ TEST(CheckpointResume, InterleavedResumesBitIdentical) {
     core::RunBudget budget;
     budget.set_max_evaluations(1);
     core::InterleavedSearchOptions o;
-    o.budget = &budget;
-    o.checkpoint_path = ck.str();
-    o.checkpoint_every = 1;
+    o.anytime.budget = &budget;
+    o.anytime.checkpoint_path = ck.str();
+    o.anytime.checkpoint_every = 1;
     const auto cut = core::interleaved_search(ev, start, o);
-    EXPECT_EQ(cut.stop, core::StopReason::evaluation_limit);
-    EXPECT_GT(cut.checkpoints_written, 0);
+    EXPECT_EQ(cut.telemetry.stop, core::StopReason::evaluation_limit);
+    EXPECT_GT(cut.telemetry.checkpoints_written, 0);
   }
 
   core::Evaluator ev(reduced_system(), fast_options());
   core::InterleavedSearchOptions o;
-  o.checkpoint_path = ck.str();
+  o.anytime.checkpoint_path = ck.str();
   const auto resumed = core::interleaved_search(ev, start, o);
-  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(resumed.telemetry.resumed);
   ASSERT_TRUE(resumed.found);
   EXPECT_EQ(ref.best.to_string(), resumed.best.to_string());
   EXPECT_EQ(bits(ref.best_evaluation.pall), bits(resumed.best_evaluation.pall));
@@ -353,11 +353,11 @@ TEST(CheckpointResume, CorruptedCheckpointFallsBackToPrevAndConverges) {
     core::RunBudget budget;
     budget.set_max_evaluations(8);
     opt::HybridOptions o = hybrid_opts();
-    o.budget = &budget;
-    o.checkpoint_path = ck.str();
-    o.checkpoint_every = 1;
+    o.anytime.budget = &budget;
+    o.anytime.checkpoint_path = ck.str();
+    o.anytime.checkpoint_every = 1;
     const auto cut = core::find_optimal_schedule(ev, kStarts, o);
-    ASSERT_GE(cut.search.checkpoints_written, 2);
+    ASSERT_GE(cut.search.telemetry.checkpoints_written, 2);
   }
   ASSERT_TRUE(std::filesystem::exists(ck.str() + ".prev"));
   const auto size = std::filesystem::file_size(ck.str());
@@ -365,10 +365,10 @@ TEST(CheckpointResume, CorruptedCheckpointFallsBackToPrevAndConverges) {
 
   core::Evaluator ev(reduced_system(), fast_options());
   opt::HybridOptions o = hybrid_opts();
-  o.checkpoint_path = ck.str();
+  o.anytime.checkpoint_path = ck.str();
   const auto resumed = core::find_optimal_schedule(ev, kStarts, o);
-  EXPECT_TRUE(resumed.search.resumed);
-  EXPECT_TRUE(resumed.search.used_fallback);
+  EXPECT_TRUE(resumed.search.telemetry.resumed);
+  EXPECT_TRUE(resumed.search.telemetry.used_fallback);
   ASSERT_TRUE(resumed.found);
   EXPECT_EQ(ref.best_schedule.to_string(), resumed.best_schedule.to_string());
   EXPECT_EQ(bits(ref.best_evaluation.pall), bits(resumed.best_evaluation.pall));
@@ -390,10 +390,10 @@ TEST(CheckpointResume, FaultPlanCorruptionIsDetectedOnResume) {
   {
     core::Evaluator ev(reduced_system(), fast_options());
     core::InterleavedSearchOptions o;
-    o.checkpoint_path = ck.str();
-    o.checkpoint_every = 1;
+    o.anytime.checkpoint_path = ck.str();
+    o.anytime.checkpoint_every = 1;
     const auto full = core::interleaved_search(ev, start, o);
-    total_writes = full.checkpoints_written;
+    total_writes = full.telemetry.checkpoints_written;
     ASSERT_GE(total_writes, 2);
   }
   std::filesystem::remove(ck.str());
@@ -403,18 +403,18 @@ TEST(CheckpointResume, FaultPlanCorruptionIsDetectedOnResume) {
     core::FaultPlan fault;
     fault.corrupt_snapshot_at = static_cast<std::uint64_t>(total_writes);
     core::InterleavedSearchOptions o;
-    o.checkpoint_path = ck.str();
-    o.checkpoint_every = 1;
-    o.fault = &fault;
+    o.anytime.checkpoint_path = ck.str();
+    o.anytime.checkpoint_every = 1;
+    o.anytime.fault = &fault;
     core::interleaved_search(ev, start, o);
   }
 
   core::Evaluator ev(reduced_system(), fast_options());
   core::InterleavedSearchOptions o;
-  o.checkpoint_path = ck.str();
+  o.anytime.checkpoint_path = ck.str();
   const auto resumed = core::interleaved_search(ev, start, o);
-  EXPECT_TRUE(resumed.resumed);
-  EXPECT_TRUE(resumed.used_fallback);
+  EXPECT_TRUE(resumed.telemetry.resumed);
+  EXPECT_TRUE(resumed.telemetry.used_fallback);
   EXPECT_EQ(ref.best.to_string(), resumed.best.to_string());
   EXPECT_EQ(bits(ref.best_evaluation.pall), bits(resumed.best_evaluation.pall));
   EXPECT_EQ(ref.evaluations, resumed.evaluations);

@@ -155,8 +155,8 @@ TEST(HybridSearch, MemoSharedAcrossStarts) {
   // Shared memo: total unique evaluations < sum of independent runs.
   int sum_runs = 0;
   for (const auto& r : ms.runs) sum_runs += r.evaluations;
-  EXPECT_EQ(ms.total_unique_evaluations, sum_runs);
-  EXPECT_LT(ms.total_unique_evaluations, 2 * 30);
+  EXPECT_EQ(ms.unique_evaluations, sum_runs);
+  EXPECT_LT(ms.unique_evaluations, 2 * 30);
 }
 
 TEST(HybridSearch, ToleranceEscapesLocalOptimum) {
@@ -236,6 +236,6 @@ TEST(Exhaustive, HybridNeedsFewerEvaluationsThanExhaustive) {
   // The paper's headline efficiency claim on a synthetic landscape.
   const auto ex = exhaustive_search(bowl, cheap_box, 3, HybridOptions{});
   const auto ms = hybrid_search_multistart(bowl, cheap_box, {{4, 2, 2}}, {});
-  EXPECT_LT(ms.total_unique_evaluations, ex.enumerated / 2);
+  EXPECT_LT(ms.unique_evaluations, ex.enumerated / 2);
   EXPECT_EQ(ms.combined.best, ex.best);
 }

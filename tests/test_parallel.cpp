@@ -440,8 +440,8 @@ TEST(SerialParallelEquivalence, MultiStartHybridMatchesSerial) {
   }
   // Each unique point is charged to exactly one run in both modes (the
   // per-run split may differ under races, the sum never does).
-  EXPECT_EQ(serial_sum, serial.search.total_unique_evaluations);
-  EXPECT_EQ(parallel_sum, parallel.search.total_unique_evaluations);
+  EXPECT_EQ(serial_sum, serial.search.unique_evaluations);
+  EXPECT_EQ(parallel_sum, parallel.search.unique_evaluations);
 }
 
 // --------------------------------------------------- evaluator fault path

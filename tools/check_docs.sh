@@ -82,6 +82,22 @@ if ! grep -q "AM-only bound" README.md; then
   fail=1
 fi
 
+# The anytime-search story (PR 10): the portfolio/driver API writeup,
+# the racing bench entry, and the README evals-to-best table must not
+# silently rot.
+if ! grep -q "Search portfolio & driver API" docs/ARCHITECTURE.md; then
+  echo "check_docs: docs/ARCHITECTURE.md lacks the 'Search portfolio & driver API' section"
+  fail=1
+fi
+if ! grep -qw "portfolio_search" docs/BENCHMARKS.md; then
+  echo "check_docs: docs/BENCHMARKS.md does not cover the portfolio racing bench"
+  fail=1
+fi
+if ! grep -q "unique evals" README.md; then
+  echo "check_docs: README.md lacks the portfolio evals-to-best table"
+  fail=1
+fi
+
 for doc in docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
   if ! grep -q "$doc" README.md; then
     echo "check_docs: README.md does not link $doc"

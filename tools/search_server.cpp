@@ -173,34 +173,34 @@ int main(int argc, char** argv) {
     core::InterleavedSearchOptions iopts;
     iopts.max_segments = 4;
     iopts.max_burst = 4;
-    iopts.budget = &budget;
-    iopts.checkpoint_path = args.checkpoint;
-    iopts.checkpoint_every = args.checkpoint_every;
-    iopts.fault = args.corrupt_at_save > 0 ? &fault : nullptr;
+    iopts.anytime.budget = &budget;
+    iopts.anytime.checkpoint_path = args.checkpoint;
+    iopts.anytime.checkpoint_every = args.checkpoint_every;
+    iopts.anytime.fault = args.corrupt_at_save > 0 ? &fault : nullptr;
     const auto start = sched::InterleavedSchedule::from_periodic(
         sched::PeriodicSchedule({1, 1}));
     const auto res = core::interleaved_search(ev, start, iopts);
     print_result(args, res.found ? res.best.to_string() : "-",
-                 res.best_evaluation.pall, res.found, res.evaluations,
-                 res.stop, res.resumed, res.used_fallback,
-                 res.checkpoints_written);
+                 res.best_evaluation.pall, res.found, res.unique_evaluations,
+                 res.telemetry.stop, res.telemetry.resumed, res.telemetry.used_fallback,
+                 res.telemetry.checkpoints_written);
     return 0;
   }
 
   opt::HybridOptions hopts;
   hopts.max_value = 6;
-  hopts.budget = &budget;
-  hopts.checkpoint_path = args.checkpoint;
-  hopts.checkpoint_every = args.checkpoint_every;
-  hopts.fault = args.corrupt_at_save > 0 ? &fault : nullptr;
+  hopts.anytime.budget = &budget;
+  hopts.anytime.checkpoint_path = args.checkpoint;
+  hopts.anytime.checkpoint_every = args.checkpoint_every;
+  hopts.anytime.fault = args.corrupt_at_save > 0 ? &fault : nullptr;
 
   if (args.search == "exhaustive") {
     const auto res = core::exhaustive_codesign(ev, hopts);
     print_result(args, res.found ? res.best_schedule.to_string() : "-",
                  res.best_evaluation.pall, res.found,
-                 res.details.unique_evaluations, res.details.stop,
-                 res.details.resumed, res.details.used_fallback,
-                 res.details.checkpoints_written);
+                 res.details.unique_evaluations, res.details.telemetry.stop,
+                 res.details.telemetry.resumed, res.details.telemetry.used_fallback,
+                 res.details.telemetry.checkpoints_written);
     return 0;
   }
 
@@ -208,7 +208,7 @@ int main(int argc, char** argv) {
       core::find_optimal_schedule(ev, {{1, 1}, {4, 4}, {1, 6}}, hopts);
   print_result(args, res.found ? res.best_schedule.to_string() : "-",
                res.best_evaluation.pall, res.found, res.schedules_evaluated,
-               res.search.stop, res.search.resumed, res.search.used_fallback,
-               res.search.checkpoints_written);
+               res.search.telemetry.stop, res.search.telemetry.resumed, res.search.telemetry.used_fallback,
+               res.search.telemetry.checkpoints_written);
   return 0;
 }
